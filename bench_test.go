@@ -1,0 +1,437 @@
+package simgen
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, plus ablation benchmarks for the individual design choices
+// (implication depth, decision heuristic) and for the substrate components.
+//
+// The full-resolution tables are produced by `go run ./cmd/experiments all`;
+// these benchmarks measure the same pipelines under the Go benchmark
+// harness so regressions in any stage show up as time/allocs changes.
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"simgen/internal/bdd"
+	"simgen/internal/core"
+	"simgen/internal/experiments"
+	"simgen/internal/genbench"
+	"simgen/internal/mapper"
+	"simgen/internal/sim"
+	"simgen/internal/sweep"
+	"simgen/internal/tt"
+)
+
+// benchCfg returns the experiment configuration used by the table/figure
+// benchmarks: the paper's parameters with a conflict budget that keeps the
+// slowest arithmetic proofs (voter, square) bounded.
+func benchCfg(benchmarks ...string) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.ConflictBudget = 20000
+	if len(benchmarks) > 0 {
+		cfg.Benchmarks = benchmarks
+	}
+	return cfg
+}
+
+// BenchmarkTable1 regenerates Table 1 (normalized cost and simulation
+// runtime of the five methods) over the full 42-benchmark suite.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cost[0] != 1.0 {
+			b.Fatal("normalization broken")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the upper half of Table 2 (SAT calls and SAT
+// time of RevS vs SimGen) over the full suite.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 42 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2Scaled regenerates one row of the lower half of Table 2
+// (putontop-scaled benchmarks). The full scaled set runs via
+// `cmd/experiments table2big`.
+func BenchmarkTable2Scaled(b *testing.B) {
+	cfg := benchCfg()
+	set := []experiments.ScaledBenchmark{{Name: "alu4", Copies: 15}}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2Scaled(cfg, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].CallsRevS == 0 && rows[0].CallsSGen == 0 {
+			b.Fatal("scaled benchmark produced no SAT work")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the Figure 5 data (per-benchmark normalized
+// differences of cost, simulation runtime, SAT calls and SAT time) on a
+// representative subset.
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchCfg("alu4", "apex2", "cps", "pdc", "spla", "ex1010", "priority", "b14_C")
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fr := experiments.FigureRows(rows)
+		if len(fr) != 8 {
+			b.Fatal("figure rows wrong")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the Figure 6 data (normalized differences on
+// stacked benchmarks) for one stacked circuit.
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchCfg()
+	set := []experiments.ScaledBenchmark{{Name: "arbiter", Copies: 15}}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2Scaled(cfg, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.FigureRows(rows)) != 1 {
+			b.Fatal("figure rows wrong")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the Figure 7 trajectories (RandS vs
+// RandS+RevS vs RandS+SimGen) on the paper's two circuits, apex2 and cps.
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		for _, bench := range []string{"apex2", "cps"} {
+			trs, err := experiments.Figure7(bench, 30, 3, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(trs) != 3 {
+				b.Fatal("trajectories wrong")
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks: the design choices DESIGN.md calls out. ---
+
+func benchGeneration(b *testing.B, strategy core.Strategy) {
+	net, err := LoadBenchmark("apex2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := core.NewRunner(net, 1, 42)
+	gen := core.NewGenerator(net, strategy, 1)
+	classIdx := run.Classes.NonSingleton()
+	if len(classIdx) == 0 {
+		b.Fatal("no classes")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		members := run.Classes.Members(classIdx[i%len(classIdx)])
+		targets, gold := core.OutGold(members)
+		gen.VectorForTargets(targets, gold)
+	}
+}
+
+// BenchmarkAblationSIRD measures vector generation with simple implication
+// and random decisions (the SI+RD column of Table 1).
+func BenchmarkAblationSIRD(b *testing.B) { benchGeneration(b, core.StrategySIRD) }
+
+// BenchmarkAblationAIRD measures advanced implication with random decisions.
+func BenchmarkAblationAIRD(b *testing.B) { benchGeneration(b, core.StrategyAIRD) }
+
+// BenchmarkAblationAIDC measures advanced implication with the don't-care
+// heuristic.
+func BenchmarkAblationAIDC(b *testing.B) { benchGeneration(b, core.StrategyAIDC) }
+
+// BenchmarkAblationSimGen measures the full AI+DC+MFFC configuration.
+func BenchmarkAblationSimGen(b *testing.B) { benchGeneration(b, core.StrategySimGen) }
+
+// BenchmarkAblationRevS measures the reverse-simulation baseline's vector
+// generation for comparison with the four SimGen configurations.
+func BenchmarkAblationRevS(b *testing.B) {
+	net, err := LoadBenchmark("apex2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := core.NewRunner(net, 1, 42)
+	rev := core.NewReverse(net, 1)
+	classIdx := run.Classes.NonSingleton()
+	if len(classIdx) == 0 {
+		b.Fatal("no classes")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		members := run.Classes.Members(classIdx[i%len(classIdx)])
+		rev.VectorForPair(members[0], members[1])
+	}
+}
+
+// --- Substrate benchmarks. ---
+
+// BenchmarkSimulation64 measures bit-parallel simulation of 64 vectors
+// through a mid-size benchmark.
+func BenchmarkSimulation64(b *testing.B) {
+	net, err := LoadBenchmark("pdc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := core.NewRunner(net, 1, 1) // warms the cover cache
+	_ = run
+	rng := rand.New(rand.NewSource(2))
+	inputs := sim.RandomInputs(net, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Simulate(net, inputs, 1)
+	}
+}
+
+// BenchmarkSATSweep measures a full sweep (simulation + SAT) of apex2.
+func BenchmarkSATSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := LoadBenchmark("apex2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := core.NewRunner(net, 1, 42)
+		gen := core.NewGenerator(net, core.StrategySimGen, 1)
+		run.Run(gen, 20)
+		res := sweep.New(net, run.Classes, sweep.Options{}).Run()
+		if res.FinalCost != 0 && res.Unresolved == 0 && res.SATCalls == 0 {
+			b.Fatal("no work")
+		}
+	}
+}
+
+// BenchmarkMapper measures K=6 LUT mapping of the des benchmark AIG.
+func BenchmarkMapper(b *testing.B) {
+	bench, _ := genbench.ByName("des")
+	g := bench.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Map(g, mapper.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkISOP measures cover extraction for random 6-input functions —
+// the hot path when node row tables are first built.
+func BenchmarkISOP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	fns := make([]tt.Table, 256)
+	for i := range fns {
+		fns[i] = tt.FromWords(6, []uint64{rng.Uint64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt.ISOP(fns[i%len(fns)])
+	}
+}
+
+// BenchmarkCEC measures end-to-end equivalence checking of a benchmark
+// against its BLIF round-trip.
+func BenchmarkCEC(b *testing.B) {
+	net, err := LoadBenchmark("alu4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := CEC(net, net.Clone(), CECOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("self-CEC failed")
+		}
+	}
+}
+
+// --- Extension ablations: alternative vector sources, OUTgold policies,
+// backtracking, and the BDD-vs-SAT sweeping engines. ---
+
+func benchSourcePipeline(b *testing.B, mk func(net *Network) VectorSource) {
+	net, err := LoadBenchmark("apex2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := core.NewRunner(net, 1, 42)
+		run.BatchSize = 1
+		run.Run(mk(net), 20)
+	}
+}
+
+// BenchmarkSourceOneDistance measures refinement driven by 1-distance
+// vectors (Mishchenko et al.), a related-work baseline.
+func BenchmarkSourceOneDistance(b *testing.B) {
+	benchSourcePipeline(b, func(net *Network) VectorSource {
+		return NewOneDistance(net, 7, 8)
+	})
+}
+
+// BenchmarkSourceSATVectors measures refinement driven by SAT-generated
+// vectors (Lee et al. style) — each vector costs a solver call.
+func BenchmarkSourceSATVectors(b *testing.B) {
+	benchSourcePipeline(b, func(net *Network) VectorSource {
+		return NewSATVector(net, 7)
+	})
+}
+
+// BenchmarkSourceSimGen is the matching SimGen pipeline for the two
+// baselines above.
+func BenchmarkSourceSimGen(b *testing.B) {
+	benchSourcePipeline(b, func(net *Network) VectorSource {
+		return NewGenerator(net, StrategySimGen, 7)
+	})
+}
+
+// BenchmarkOutGoldPolicies compares the three OUTgold distribution policies
+// (the paper's extension hook) on the same workload.
+func BenchmarkOutGoldPolicies(b *testing.B) {
+	for _, policy := range []OutGoldPolicy{GoldAlternate, GoldTopology, GoldAdaptive} {
+		b.Run(policy.String(), func(b *testing.B) {
+			benchSourcePipeline(b, func(net *Network) VectorSource {
+				g := NewGenerator(net, StrategySimGen, 7)
+				g.GoldPolicy = policy
+				return g
+			})
+		})
+	}
+}
+
+// BenchmarkBacktracking compares the paper's no-backtracking configuration
+// against bounded backtracking.
+func BenchmarkBacktracking(b *testing.B) {
+	for _, bt := range []int{0, 4, 16} {
+		name := "off"
+		if bt > 0 {
+			name = strconv.Itoa(bt)
+		}
+		b.Run(name, func(b *testing.B) {
+			benchSourcePipeline(b, func(net *Network) VectorSource {
+				g := NewGenerator(net, StrategySimGen, 7)
+				g.Backtrack = bt
+				return g
+			})
+		})
+	}
+}
+
+// BenchmarkBDDSweepVsSAT compares the two sweeping engines on a
+// control-dominated circuit (where BDDs behave) — the historic trade-off
+// the paper's related work describes.
+func BenchmarkBDDSweepVsSAT(b *testing.B) {
+	b.Run("bdd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, _ := LoadBenchmark("misex3c")
+			run := core.NewRunner(net, 1, 42)
+			NewBDDSweeper(net, run.Classes, 0).Run()
+		}
+	})
+	b.Run("sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, _ := LoadBenchmark("misex3c")
+			run := core.NewRunner(net, 1, 42)
+			sweep.New(net, run.Classes, sweep.Options{}).Run()
+		}
+	})
+}
+
+// BenchmarkApplySweep measures the fraig-style network reduction.
+func BenchmarkApplySweep(b *testing.B) {
+	net, _ := LoadBenchmark("apex2")
+	run := core.NewRunner(net, 1, 42)
+	sw := sweep.New(net, run.Classes, sweep.Options{})
+	sw.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplySweep(net, sw.Rep)
+	}
+}
+
+// BenchmarkBalance measures AIG depth balancing on the des benchmark.
+func BenchmarkBalance(b *testing.B) {
+	bench, _ := genbench.ByName("des")
+	g := bench.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Balance(g)
+	}
+}
+
+// BenchmarkRefactor measures cone resynthesis on the spla benchmark.
+func BenchmarkRefactor(b *testing.B) {
+	bench, _ := genbench.ByName("spla")
+	g := bench.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refactor(g, 8)
+	}
+}
+
+// BenchmarkAIGERBinaryRoundTrip measures AIGER write+read of b17_C.
+func BenchmarkAIGERBinaryRoundTrip(b *testing.B) {
+	bench, _ := genbench.ByName("b17_C")
+	g := bench.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteAIGER(&buf, g, true); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadAIGER(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSweep compares 1 vs 4 workers on pdc.
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net, _ := LoadBenchmark("pdc")
+				run := core.NewRunner(net, 1, 42)
+				sw := sweep.New(net, run.Classes, sweep.Options{})
+				sw.RunParallel(workers)
+			}
+		})
+	}
+}
+
+// BenchmarkBDDBuild measures BDD construction for all POs of misex3c.
+func BenchmarkBDDBuild(b *testing.B) {
+	net, _ := LoadBenchmark("misex3c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := bdd.NewBuilder(net)
+		for _, po := range net.POs() {
+			if _, err := builder.Node(po.Driver); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command benchgen materializes the built-in benchmark suite as BLIF files
+// (LUT-mapped with K=6, as the experiments use them).
+//
+// Usage:
+//
+//	benchgen -out bench/            # write all 42 benchmarks
+//	benchgen -out bench/ apex2 cps  # write a subset
+//	benchgen -copies 5 -out bench/ b17_C   # putontop-scaled variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"simgen"
+	"simgen/internal/genbench"
+	"simgen/internal/mapper"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "output directory")
+		copies = flag.Int("copies", 1, "stack this many copies with putontop")
+		format = flag.String("format", "blif", "output format: blif or v (LUT-mapped), aag or aig (raw AIG)")
+		tb     = flag.Int("testbench", 0, "with -format v: also write a self-checking testbench with this many SimGen+random vectors")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range simgen.Benchmarks() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Suite)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, b := range simgen.Benchmarks() {
+			names = append(names, b.Name)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		if err := emit(name, *out, *copies, *format, *tb); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(name, dir string, copies int, format string, tbVectors int) error {
+	b, ok := genbench.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark")
+	}
+	g := b.Build()
+	suffix := ""
+	if copies > 1 {
+		g = genbench.PutOnTop(g, copies)
+		suffix = fmt.Sprintf("_x%d", copies)
+	}
+	path := filepath.Join(dir, name+suffix+"."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "blif":
+		net, err := mapper.Map(g, mapper.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := simgen.WriteBLIF(f, net); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", path, net.Stats())
+	case "v":
+		net, err := mapper.Map(g, mapper.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if err := simgen.WriteVerilog(f, net); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", path, net.Stats())
+		if tbVectors > 0 {
+			if err := emitTestbench(net, dir, name+suffix, tbVectors); err != nil {
+				return err
+			}
+		}
+	case "aag", "aig":
+		if err := simgen.WriteAIGER(f, g, format == "aig"); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", path, g.Stats())
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+// emitTestbench writes a self-checking testbench mixing random vectors with
+// SimGen-targeted ones.
+func emitTestbench(net *simgen.Network, dir, base string, n int) error {
+	run := simgen.NewRunner(net, 1, 1)
+	gen := simgen.NewGenerator(net, simgen.StrategySimGen, 2)
+	vectors := gen.NextBatch(run.Classes, n/2)
+	vectors = append(vectors, simgen.NewRandom(net, 3).NextBatch(nil, n-len(vectors))...)
+	path := filepath.Join(dir, base+"_tb.v")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := simgen.WriteTestbench(f, net, vectors); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d vectors\n", path, len(vectors))
+	return nil
+}

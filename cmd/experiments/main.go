@@ -1,0 +1,106 @@
+// Command experiments regenerates the tables and figures of the SimGen
+// paper's evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simgen/internal/experiments"
+)
+
+func main() {
+	var (
+		benchList  = flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 42)")
+		iterations = flag.Int("iterations", 20, "guided simulation iterations")
+		seed       = flag.Int64("seed", 20250706, "random seed")
+		fig7Iters  = flag.Int("fig7-iterations", 100, "iterations for figure 7 trajectories")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] {table1|table2|table2big|fig5|fig6|fig7|ablation|all}")
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.GuidedIterations = *iterations
+	cfg.Seed = *seed
+	if *benchList != "" {
+		cfg.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	for _, cmd := range flag.Args() {
+		if err := run(cmd, cfg, *fig7Iters); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(cmd string, cfg experiments.Config, fig7Iters int) error {
+	switch cmd {
+	case "table1":
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1: normalized average cost and simulation runtime ==")
+		fmt.Print(res.Format())
+	case "table2":
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 2 (upper): SAT calls and SAT time ==")
+		fmt.Print(experiments.FormatTable2(rows))
+	case "table2big":
+		rows, err := experiments.Table2Scaled(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 2 (lower): scaled benchmarks via putontop ==")
+		fmt.Print(experiments.FormatTable2(rows))
+	case "fig5":
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 5: normalized differences, SimGen vs RevS ==")
+		fmt.Print(experiments.FormatFigure(experiments.FigureRows(rows)))
+	case "fig6":
+		rows, err := experiments.Table2Scaled(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 6: normalized differences on scaled benchmarks ==")
+		fmt.Print(experiments.FormatFigure(experiments.FigureRows(rows)))
+	case "ablation":
+		res, err := experiments.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension ablation: vector sources and policies (normalized cost) ==")
+		fmt.Print(res.Format())
+	case "fig7":
+		for _, bench := range []string{"apex2", "cps"} {
+			trs, err := experiments.Figure7(bench, fig7Iters, 3, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Figure 7: %s ==\n", bench)
+			fmt.Print(experiments.FormatFigure7(bench, trs))
+		}
+	case "all":
+		for _, c := range []string{"table1", "table2", "fig5", "table2big", "fig6", "fig7"} {
+			if err := run(c, cfg, fig7Iters); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command sat is a standalone DIMACS CNF solver built on the repository's
+// CDCL engine. It prints "SAT" with a model line ("v ..." in the usual
+// competition format) or "UNSAT", and exits with the conventional status
+// codes 10 (SAT), 20 (UNSAT) and 1 (error / unknown).
+//
+// Usage:
+//
+//	sat problem.cnf
+//	sat < problem.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"simgen/internal/sat"
+)
+
+func main() {
+	var (
+		budget = flag.Int64("conflict-budget", 0, "conflict limit (0 = unlimited)")
+		stats  = flag.Bool("stats", false, "print solver statistics")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: sat [flags] [problem.cnf]")
+		os.Exit(1)
+	}
+
+	solver, nvars, err := sat.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sat: %v\n", err)
+		os.Exit(1)
+	}
+	solver.ConflictBudget = *budget
+	status := solver.Solve()
+	if *stats {
+		st := solver.Stats
+		fmt.Fprintf(os.Stderr, "c decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d\n",
+			st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learnt)
+	}
+	switch status {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		fmt.Print("v")
+		for v := 0; v < nvars; v++ {
+			lit := v + 1
+			if !solver.Value(v) {
+				lit = -lit
+			}
+			fmt.Printf(" %d", lit)
+		}
+		fmt.Println(" 0")
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(1)
+	}
+}

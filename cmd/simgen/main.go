@@ -1,0 +1,172 @@
+// Command simgen runs guided simulation-pattern generation on a circuit:
+// it partitions the candidate equivalence classes with random simulation,
+// refines them with the selected strategy, and reports the cost (worst-case
+// SAT calls, Eq. 5 of the paper) per iteration.
+//
+// Usage:
+//
+//	simgen [flags] circuit.blif
+//	simgen [flags] -benchmark apex2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simgen"
+)
+
+func main() {
+	var (
+		benchmark  = flag.String("benchmark", "", "run a named built-in benchmark instead of a BLIF file")
+		method     = flag.String("method", "simgen", "vector source: simgen|ai+dc|ai+rd|si+rd|revs|rands")
+		iterations = flag.Int("iterations", 20, "guided iterations")
+		batch      = flag.Int("batch", 1, "vectors per iteration")
+		randRounds = flag.Int("random-rounds", 1, "initial random rounds (64 vectors each)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list built-in benchmarks and exit")
+		dump       = flag.String("dump-patterns", "", "write all generated vectors to this pattern file")
+		replay     = flag.String("replay", "", "replay vectors from a pattern file instead of generating")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range simgen.Benchmarks() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Suite)
+		}
+		return
+	}
+
+	net, err := loadCircuit(*benchmark, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	run := simgen.NewRunner(net, *randRounds, *seed)
+	run.BatchSize = *batch
+	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
+	fmt.Printf("initial classes: %d, cost: %d\n", run.Classes.NumClasses(), run.Classes.Cost())
+
+	if *replay != "" {
+		if err := replayPatterns(net, run, *replay); err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	src, err := makeSource(net, *method, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(1)
+	}
+	var dumped [][]bool
+	if *dump != "" {
+		src = &recordingSource{inner: src, sink: &dumped}
+	}
+	for i := 0; i < *iterations; i++ {
+		st := run.Step(src, i)
+		fmt.Printf("iter %3d  cost %6d  vectors %3d  elapsed %v\n",
+			st.Iteration, st.Cost, st.Vectors, st.Elapsed)
+	}
+	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := simgen.WritePatterns(f, dumped); err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d patterns to %s\n", len(dumped), *dump)
+	}
+}
+
+// recordingSource tees generated vectors into a slice for -dump-patterns.
+type recordingSource struct {
+	inner simgen.VectorSource
+	sink  *[][]bool
+}
+
+func (r *recordingSource) Name() string { return r.inner.Name() }
+
+func (r *recordingSource) NextBatch(classes *simgen.Classes, max int) [][]bool {
+	batch := r.inner.NextBatch(classes, max)
+	*r.sink = append(*r.sink, batch...)
+	return batch
+}
+
+// replayPatterns refines the classes with vectors from a pattern file.
+func replayPatterns(net *simgen.Network, run *simgen.Runner, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	vectors, err := simgen.ReadPatterns(f, net.NumPIs())
+	if err != nil {
+		return err
+	}
+	src := &fixedSource{vectors: vectors}
+	for i := 0; len(src.vectors) > 0; i++ {
+		st := run.Step(src, i)
+		fmt.Printf("iter %3d  cost %6d  vectors %3d  elapsed %v\n",
+			st.Iteration, st.Cost, st.Vectors, st.Elapsed)
+	}
+	fmt.Printf("final cost after replay: %d\n", run.Classes.Cost())
+	return nil
+}
+
+// fixedSource feeds a pre-recorded vector list batch by batch.
+type fixedSource struct{ vectors [][]bool }
+
+func (f *fixedSource) Name() string { return "replay" }
+
+func (f *fixedSource) NextBatch(_ *simgen.Classes, max int) [][]bool {
+	n := max
+	if n > len(f.vectors) {
+		n = len(f.vectors)
+	}
+	out := f.vectors[:n]
+	f.vectors = f.vectors[n:]
+	return out
+}
+
+func loadCircuit(benchmark string, args []string) (*simgen.Network, error) {
+	if benchmark != "" {
+		return simgen.LoadBenchmark(benchmark)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("need a BLIF file or -benchmark name")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return simgen.ParseBLIF(f)
+}
+
+func makeSource(net *simgen.Network, method string, seed int64) (simgen.VectorSource, error) {
+	switch method {
+	case "simgen", "ai+dc+mffc":
+		return simgen.NewGenerator(net, simgen.StrategySimGen, seed), nil
+	case "ai+dc":
+		return simgen.NewGenerator(net, simgen.StrategyAIDC, seed), nil
+	case "ai+rd":
+		return simgen.NewGenerator(net, simgen.StrategyAIRD, seed), nil
+	case "si+rd":
+		return simgen.NewGenerator(net, simgen.StrategySIRD, seed), nil
+	case "revs":
+		return simgen.NewReverse(net, seed), nil
+	case "rands":
+		return simgen.NewRandom(net, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}

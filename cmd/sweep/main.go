@@ -1,0 +1,154 @@
+// Command sweep runs SAT sweeping on one circuit or combinational
+// equivalence checking (CEC) between two circuits.
+//
+// Usage:
+//
+//	sweep [flags] circuit.blif          # sweep: prove/disprove node pairs
+//	sweep [flags] a.blif b.blif         # CEC: compare two circuits
+//	sweep [flags] -benchmark apex2      # sweep a built-in benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simgen"
+)
+
+func main() {
+	var (
+		benchmark  = flag.String("benchmark", "", "sweep a named built-in benchmark")
+		method     = flag.String("method", "simgen", "guided simulation before sweeping: simgen|revs|none")
+		iterations = flag.Int("iterations", 20, "guided iterations")
+		randRounds = flag.Int("random-rounds", 1, "initial random rounds")
+		seed       = flag.Int64("seed", 1, "random seed")
+		budget     = flag.Int64("conflict-budget", 0, "SAT conflict budget per call (0 = unlimited)")
+		engine     = flag.String("engine", "sat", "verification engine: sat|bdd")
+		reduce     = flag.String("reduce", "", "write the swept (merged) network to this BLIF file")
+	)
+	flag.Parse()
+
+	switch {
+	case *benchmark != "" || flag.NArg() == 1:
+		if err := runSweep(*benchmark, flag.Args(), *method, *engine, *reduce, *iterations, *randRounds, *seed, *budget); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	case flag.NArg() == 2:
+		if err := runCEC(flag.Arg(0), flag.Arg(1), *iterations, *seed, *budget); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sweep [flags] circuit.blif | sweep [flags] a.blif b.blif")
+		os.Exit(2)
+	}
+}
+
+func load(path string) (*simgen.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return simgen.ParseBLIF(f)
+}
+
+func runSweep(benchmark string, args []string, method, engine, reduce string, iterations, randRounds int, seed, budget int64) error {
+	var net *simgen.Network
+	var err error
+	if benchmark != "" {
+		net, err = simgen.LoadBenchmark(benchmark)
+	} else {
+		net, err = load(args[0])
+	}
+	if err != nil {
+		return err
+	}
+
+	run := simgen.NewRunner(net, randRounds, seed)
+	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
+	fmt.Printf("after random simulation: cost %d\n", run.Classes.Cost())
+
+	switch method {
+	case "simgen":
+		run.Run(simgen.NewGenerator(net, simgen.StrategySimGen, seed+1), iterations)
+	case "revs":
+		run.Run(simgen.NewReverse(net, seed+1), iterations)
+	case "none":
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	fmt.Printf("after guided simulation (%s): cost %d\n", method, run.Classes.Cost())
+
+	var rep func(simgen.NodeID) simgen.NodeID
+	switch engine {
+	case "sat":
+		sw := simgen.NewSweeper(net, run.Classes, simgen.SweepOptions{ConflictBudget: budget})
+		res := sw.Run()
+		rep = sw.Rep
+		fmt.Printf("SAT sweeping: %s\n", res)
+		fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d\n",
+			res.Proved, res.Disproved, res.FinalCost)
+	case "bdd":
+		sw := simgen.NewBDDSweeper(net, run.Classes, 0)
+		res := sw.Run()
+		rep = sw.Rep
+		fmt.Printf("BDD sweeping: %d checks in %v (%d BDD nodes)\n",
+			res.Checks, res.Time, res.PeakNodes)
+		fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d",
+			res.Proved, res.Disproved, res.FinalCost)
+		if res.BlownUp {
+			fmt.Printf(" (node limit hit: %d pairs unresolved)", res.Unresolved)
+		}
+		fmt.Println()
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+
+	if reduce != "" {
+		merged := simgen.ApplySweep(net, rep)
+		f, err := os.Create(reduce)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := simgen.WriteBLIF(f, merged); err != nil {
+			return err
+		}
+		fmt.Printf("reduced network: %s -> %s (%s)\n", net.Stats(), merged.Stats(), reduce)
+	}
+	return nil
+}
+
+func runCEC(pathA, pathB string, iterations int, seed, budget int64) error {
+	a, err := load(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := load(pathB)
+	if err != nil {
+		return err
+	}
+	res, err := simgen.CEC(a, b, simgen.CECOptions{
+		Seed:             seed,
+		GuidedIterations: iterations,
+		Sweep:            simgen.SweepOptions{ConflictBudget: budget},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %s\n", res.Sweep)
+	if res.Equivalent {
+		fmt.Println("EQUIVALENT")
+		return nil
+	}
+	fmt.Printf("NOT EQUIVALENT (output %s differs)\n", res.FailedPO)
+	fmt.Printf("counterexample: %v\n", res.Counterexample)
+	if ok, po := simgen.VerifyCounterexample(a, b, res.Counterexample); ok {
+		fmt.Printf("counterexample verified on output %s\n", po)
+	}
+	os.Exit(1)
+	return nil
+}

@@ -1,0 +1,138 @@
+// ATPG example: SimGen's pattern generator is ATPG turned inside out, so it
+// can generate manufacturing test patterns too. For each stuck-at fault
+// site we ask the generator for an input vector that drives the site to the
+// opposite value (fault activation); simulating the good and faulty
+// circuits then checks whether the fault propagates to an output
+// (observation). We compare fault coverage against random patterns.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simgen"
+)
+
+func main() {
+	net, err := simgen.LoadBenchmark("misex3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit misex3: %s\n\n", net.Stats())
+
+	// Fault list: stuck-at-0 and stuck-at-1 on every LUT output.
+	type fault struct {
+		site    simgen.NodeID
+		stuckAt bool
+	}
+	var faults []fault
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := simgen.NodeID(id)
+		if len(net.Node(nid).Fanins) > 0 {
+			faults = append(faults, fault{nid, false}, fault{nid, true})
+		}
+	}
+	fmt.Printf("fault list: %d stuck-at faults\n\n", len(faults))
+
+	detectedBy := func(vec []bool, f fault) bool {
+		good := simulate(net, vec, f.site, nil)
+		bad := simulate(net, vec, f.site, &f.stuckAt)
+		for _, po := range net.POs() {
+			if good[po.Driver] != bad[po.Driver] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Random patterns baseline.
+	rng := rand.New(rand.NewSource(1))
+	randomVecs := make([][]bool, 64)
+	for i := range randomVecs {
+		v := make([]bool, net.NumPIs())
+		for j := range v {
+			v[j] = rng.Intn(2) == 1
+		}
+		randomVecs[i] = v
+	}
+	randomHits := 0
+	for _, f := range faults {
+		for _, v := range randomVecs {
+			if detectedBy(v, f) {
+				randomHits++
+				break
+			}
+		}
+	}
+
+	// SimGen-targeted patterns: for each fault left undetected by the
+	// random set, ask the generator to drive the site to the non-stuck
+	// value (activation); observation is checked by simulation.
+	gen := simgen.NewGenerator(net, simgen.StrategySimGen, 2)
+	targetedHits := 0
+	extraVectors := 0
+	for _, f := range faults {
+		hit := false
+		for _, v := range randomVecs {
+			if detectedBy(v, f) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			// Try a few targeted activations.
+			for attempt := 0; attempt < 8 && !hit; attempt++ {
+				vec, honored, _ := gen.VectorForTargets(
+					[]simgen.NodeID{f.site}, []bool{!f.stuckAt})
+				if !honored[0] {
+					continue
+				}
+				extraVectors++
+				hit = detectedBy(vec, f)
+			}
+		}
+		if hit {
+			targetedHits++
+		}
+	}
+
+	fmt.Printf("random patterns (64 vectors):  %d/%d faults detected (%.1f%%)\n",
+		randomHits, len(faults), pct(randomHits, len(faults)))
+	fmt.Printf("+ SimGen-targeted activation:  %d/%d faults detected (%.1f%%), %d extra vectors\n",
+		targetedHits, len(faults), pct(targetedHits, len(faults)), extraVectors)
+	fmt.Println("\n(undetected remainder: unobservable or redundant faults —")
+	fmt.Println(" activation alone cannot expose them without path sensitization)")
+}
+
+func pct(a, b int) float64 { return 100 * float64(a) / float64(b) }
+
+// simulate evaluates the network on vec; when stuck is non-nil, the fault
+// site's output is forced to *stuck before its fanouts are evaluated.
+func simulate(net *simgen.Network, vec []bool, site simgen.NodeID, stuck *bool) []bool {
+	vals := make([]bool, net.NumNodes())
+	piIdx := 0
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := simgen.NodeID(id)
+		nd := net.Node(nid)
+		switch nd.Kind {
+		case simgen.KindPI:
+			vals[id] = vec[piIdx]
+			piIdx++
+		case simgen.KindConst:
+			vals[id] = nd.Func.IsConst1()
+		case simgen.KindLUT:
+			m := 0
+			for i, f := range nd.Fanins {
+				if vals[f] {
+					m |= 1 << uint(i)
+				}
+			}
+			vals[id] = nd.Func.Bit(m)
+		}
+		if stuck != nil && nid == site {
+			vals[id] = *stuck
+		}
+	}
+	return vals
+}

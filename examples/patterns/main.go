@@ -1,0 +1,74 @@
+// Patterns example: reproduce the paper's Figure 7 intuition on a single
+// benchmark — random simulation quickly reaches a local minimum, and only
+// guided generation (reverse simulation or SimGen) keeps splitting the
+// remaining equivalence classes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simgen"
+)
+
+const (
+	benchName  = "apex2"
+	iterations = 25
+	patience   = 3 // switch to the guided source after 3 stagnant iterations
+)
+
+func main() {
+	fmt.Printf("cost per iteration on %s (lower = fewer worst-case SAT calls)\n\n", benchName)
+	fmt.Printf("%-5s %10s %14s %14s\n", "iter", "RandS", "RandS+RevS", "RandS+SimGen")
+
+	costs := make([][]int, 3)
+	for i, scheme := range []string{"rands", "revs", "simgen"} {
+		costs[i] = trajectory(scheme)
+	}
+	for it := 0; it < iterations; it++ {
+		fmt.Printf("%-5d %10d %14d %14d\n", it, costs[0][it], costs[1][it], costs[2][it])
+	}
+	fmt.Printf("\nfinal: RandS=%d RandS+RevS=%d RandS+SimGen=%d\n",
+		costs[0][iterations-1], costs[1][iterations-1], costs[2][iterations-1])
+}
+
+// trajectory runs one scheme: random vectors until the cost stagnates for
+// `patience` iterations, then the guided source takes over.
+func trajectory(scheme string) []int {
+	net, err := simgen.LoadBenchmark(benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := simgen.NewRunner(net, 1, 42)
+	run.BatchSize = 1
+	random := simgen.NewRandom(net, 7)
+	var guided simgen.VectorSource
+	switch scheme {
+	case "revs":
+		guided = simgen.NewReverse(net, 9)
+	case "simgen":
+		guided = simgen.NewGenerator(net, simgen.StrategySimGen, 9)
+	}
+
+	var out []int
+	stagnant, last := 0, run.Classes.Cost()
+	switched := false
+	for i := 0; i < iterations; i++ {
+		src := random
+		if switched {
+			src = guided
+		}
+		st := run.Step(src, i)
+		out = append(out, st.Cost)
+		if st.Cost == last {
+			stagnant++
+		} else {
+			stagnant = 0
+		}
+		last = st.Cost
+		if !switched && guided != nil && stagnant >= patience {
+			switched = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module simgen
+
+go 1.22

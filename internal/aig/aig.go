@@ -1,0 +1,337 @@
+// Package aig implements And-Inverter Graphs with structural hashing.
+// AIGs are the construction substrate for the synthetic benchmark suite and
+// the input representation of the K-LUT technology mapper, mirroring the
+// AIG → "if -K 6" → LUT network flow the SimGen paper uses via ABC.
+package aig
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simgen/internal/tt"
+)
+
+// Lit is an AIG literal: 2*node + complement bit. Node 0 is the constant,
+// so Lit 0 is constant false and Lit 1 constant true.
+type Lit uint32
+
+// Constant literals.
+const (
+	False Lit = 0
+	True  Lit = 1
+)
+
+// MakeLit builds a literal from a node index and a complement flag.
+func MakeLit(node uint32, neg bool) Lit {
+	l := Lit(node << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of the literal.
+func (l Lit) Node() uint32 { return uint32(l) >> 1 }
+
+// IsNeg reports whether the literal is complemented.
+func (l Lit) IsNeg() bool { return l&1 != 0 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// NotIf complements the literal when c is true.
+func (l Lit) NotIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// PO is a named primary output of the graph.
+type PO struct {
+	Name string
+	Lit  Lit
+}
+
+// Graph is an and-inverter graph. Node 0 is the constant-false node; nodes
+// 1..npis are primary inputs; further nodes are two-input ANDs over earlier
+// literals. Construction maintains structural hashing: identical (fanin0,
+// fanin1) pairs return the same node.
+type Graph struct {
+	Name    string
+	fanin0  []Lit // per node; unused for const/PI
+	fanin1  []Lit
+	npis    int
+	piNames []string
+	pos     []PO
+	strash  map[[2]Lit]uint32
+}
+
+// New returns an empty graph containing only the constant node.
+func New(name string) *Graph {
+	return &Graph{
+		Name:   name,
+		fanin0: make([]Lit, 1),
+		fanin1: make([]Lit, 1),
+		strash: make(map[[2]Lit]uint32),
+	}
+}
+
+// NumNodes returns the number of nodes including the constant.
+func (g *Graph) NumNodes() int { return len(g.fanin0) }
+
+// NumPIs returns the number of primary inputs.
+func (g *Graph) NumPIs() int { return g.npis }
+
+// NumAnds returns the number of AND nodes.
+func (g *Graph) NumAnds() int { return len(g.fanin0) - 1 - g.npis }
+
+// POs returns the primary outputs.
+func (g *Graph) POs() []PO { return g.pos }
+
+// PIName returns the name of the i-th primary input.
+func (g *Graph) PIName(i int) string { return g.piNames[i] }
+
+// SetPIName renames the i-th primary input (used by format readers whose
+// symbol tables arrive after the structure).
+func (g *Graph) SetPIName(i int, name string) { g.piNames[i] = name }
+
+// PILit returns the literal of the i-th primary input.
+func (g *Graph) PILit(i int) Lit { return MakeLit(uint32(1+i), false) }
+
+// IsPI reports whether node is a primary input.
+func (g *Graph) IsPI(node uint32) bool { return node >= 1 && int(node) <= g.npis }
+
+// IsAnd reports whether node is an AND node.
+func (g *Graph) IsAnd(node uint32) bool { return int(node) > g.npis && int(node) < len(g.fanin0) }
+
+// Fanins returns the two fanin literals of an AND node.
+func (g *Graph) Fanins(node uint32) (Lit, Lit) {
+	return g.fanin0[node], g.fanin1[node]
+}
+
+// AddPI appends a primary input. PIs must be added before any AND node.
+func (g *Graph) AddPI(name string) Lit {
+	if g.NumAnds() > 0 {
+		panic("aig: all PIs must be added before AND nodes")
+	}
+	g.npis++
+	g.fanin0 = append(g.fanin0, 0)
+	g.fanin1 = append(g.fanin1, 0)
+	if name == "" {
+		name = fmt.Sprintf("pi%d", g.npis-1)
+	}
+	g.piNames = append(g.piNames, name)
+	return MakeLit(uint32(len(g.fanin0)-1), false)
+}
+
+// AddPO registers a primary output literal.
+func (g *Graph) AddPO(name string, l Lit) {
+	if int(l.Node()) >= len(g.fanin0) {
+		panic("aig: PO literal out of range")
+	}
+	g.pos = append(g.pos, PO{Name: name, Lit: l})
+}
+
+// And returns a literal for a AND b, applying constant folding, trivial
+// simplification and structural hashing.
+func (g *Graph) And(a, b Lit) Lit {
+	// Normalize order for hashing.
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == False:
+		return False
+	case a == True:
+		return b
+	case a == b:
+		return a
+	case a == b.Not():
+		return False
+	}
+	key := [2]Lit{a, b}
+	if n, ok := g.strash[key]; ok {
+		return MakeLit(n, false)
+	}
+	g.fanin0 = append(g.fanin0, a)
+	g.fanin1 = append(g.fanin1, b)
+	n := uint32(len(g.fanin0) - 1)
+	g.strash[key] = n
+	return MakeLit(n, false)
+}
+
+// Or returns a literal for a OR b.
+func (g *Graph) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a literal for a XOR b.
+func (g *Graph) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Xnor returns a literal for a XNOR b.
+func (g *Graph) Xnor(a, b Lit) Lit { return g.Xor(a, b).Not() }
+
+// Mux returns s ? t : e.
+func (g *Graph) Mux(s, t, e Lit) Lit {
+	return g.Or(g.And(s, t), g.And(s.Not(), e))
+}
+
+// Maj returns the majority of three literals.
+func (g *Graph) Maj(a, b, c Lit) Lit {
+	return g.Or(g.Or(g.And(a, b), g.And(a, c)), g.And(b, c))
+}
+
+// AndN reduces a list of literals with AND (returns True for empty input).
+func (g *Graph) AndN(ls []Lit) Lit {
+	out := True
+	for _, l := range ls {
+		out = g.And(out, l)
+	}
+	return out
+}
+
+// OrN reduces a list of literals with OR (returns False for empty input).
+func (g *Graph) OrN(ls []Lit) Lit {
+	out := False
+	for _, l := range ls {
+		out = g.Or(out, l)
+	}
+	return out
+}
+
+// XorN reduces a list of literals with XOR (returns False for empty input).
+func (g *Graph) XorN(ls []Lit) Lit {
+	out := False
+	for _, l := range ls {
+		out = g.Xor(out, l)
+	}
+	return out
+}
+
+// FromCover builds the SOP given by cover over the provided input literals.
+func (g *Graph) FromCover(cover tt.Cover, inputs []Lit) Lit {
+	out := False
+	for _, cube := range cover {
+		term := True
+		for i, in := range inputs {
+			v, cared := cube.Has(i)
+			if !cared {
+				continue
+			}
+			term = g.And(term, in.NotIf(!v))
+		}
+		out = g.Or(out, term)
+	}
+	return out
+}
+
+// FromTable builds logic computing the truth table fn over the inputs.
+func (g *Graph) FromTable(fn tt.Table, inputs []Lit) Lit {
+	if fn.NumVars() != len(inputs) {
+		panic("aig: FromTable arity mismatch")
+	}
+	return g.FromCover(tt.ISOP(fn), inputs)
+}
+
+// Levels returns per-node levels (constant and PIs are level 0).
+func (g *Graph) Levels() []int32 {
+	lv := make([]int32, g.NumNodes())
+	for n := g.npis + 1; n < g.NumNodes(); n++ {
+		l0 := lv[g.fanin0[n].Node()]
+		l1 := lv[g.fanin1[n].Node()]
+		if l1 > l0 {
+			l0 = l1
+		}
+		lv[n] = l0 + 1
+	}
+	return lv
+}
+
+// Depth returns the maximum PO driver level.
+func (g *Graph) Depth() int {
+	lv := g.Levels()
+	d := int32(0)
+	for _, po := range g.pos {
+		if lv[po.Lit.Node()] > d {
+			d = lv[po.Lit.Node()]
+		}
+	}
+	return int(d)
+}
+
+// Refs counts the fanout references of every node (including PO refs).
+func (g *Graph) Refs() []int32 {
+	refs := make([]int32, g.NumNodes())
+	for n := g.npis + 1; n < g.NumNodes(); n++ {
+		refs[g.fanin0[n].Node()]++
+		refs[g.fanin1[n].Node()]++
+	}
+	for _, po := range g.pos {
+		refs[po.Lit.Node()]++
+	}
+	return refs
+}
+
+// Simulate evaluates the graph bit-parallel: inputs[i] is the word of the
+// i-th PI; the result holds one word per node (complementation is on edges,
+// so each word is the uncomplemented node value).
+func (g *Graph) Simulate(inputs []uint64) []uint64 {
+	if len(inputs) != g.npis {
+		panic("aig: input count mismatch")
+	}
+	vals := make([]uint64, g.NumNodes())
+	for i, w := range inputs {
+		vals[1+i] = w
+	}
+	litVal := func(l Lit) uint64 {
+		v := vals[l.Node()]
+		if l.IsNeg() {
+			return ^v
+		}
+		return v
+	}
+	for n := g.npis + 1; n < g.NumNodes(); n++ {
+		vals[n] = litVal(g.fanin0[n]) & litVal(g.fanin1[n])
+	}
+	return vals
+}
+
+// LitValue extracts a literal's value from a Simulate result.
+func LitValue(vals []uint64, l Lit) uint64 {
+	v := vals[l.Node()]
+	if l.IsNeg() {
+		return ^v
+	}
+	return v
+}
+
+// EvalVector evaluates all POs on a single boolean input vector.
+func (g *Graph) EvalVector(assign []bool) []bool {
+	inputs := make([]uint64, g.npis)
+	for i, v := range assign {
+		if v {
+			inputs[i] = 1
+		}
+	}
+	vals := g.Simulate(inputs)
+	out := make([]bool, len(g.pos))
+	for i, po := range g.pos {
+		out[i] = LitValue(vals, po.Lit)&1 != 0
+	}
+	return out
+}
+
+// RandomVector draws a random input assignment.
+func (g *Graph) RandomVector(rng *rand.Rand) []bool {
+	v := make([]bool, g.npis)
+	for i := range v {
+		v[i] = rng.Intn(2) == 1
+	}
+	return v
+}
+
+// Stats summarizes the graph.
+func (g *Graph) Stats() string {
+	return fmt.Sprintf("pi=%d po=%d and=%d depth=%d", g.NumPIs(), len(g.pos), g.NumAnds(), g.Depth())
+}

@@ -1,0 +1,334 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simgen/internal/tt"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := MakeLit(5, true)
+	if l.Node() != 5 || !l.IsNeg() {
+		t.Fatal("MakeLit wrong")
+	}
+	if l.Not().IsNeg() || l.Not().Node() != 5 {
+		t.Fatal("Not wrong")
+	}
+	if l.NotIf(false) != l || l.NotIf(true) != l.Not() {
+		t.Fatal("NotIf wrong")
+	}
+	if True.Node() != 0 || !True.IsNeg() || False.IsNeg() {
+		t.Fatal("constant literals wrong")
+	}
+}
+
+func TestAndSimplifications(t *testing.T) {
+	g := New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	if g.And(False, a) != False {
+		t.Fatal("0 AND a != 0")
+	}
+	if g.And(True, a) != a {
+		t.Fatal("1 AND a != a")
+	}
+	if g.And(a, a) != a {
+		t.Fatal("a AND a != a")
+	}
+	if g.And(a, a.Not()) != False {
+		t.Fatal("a AND !a != 0")
+	}
+	x := g.And(a, b)
+	y := g.And(b, a)
+	if x != y {
+		t.Fatal("structural hashing failed on commuted inputs")
+	}
+	if g.NumAnds() != 1 {
+		t.Fatalf("NumAnds = %d, want 1", g.NumAnds())
+	}
+}
+
+func TestGateSemantics(t *testing.T) {
+	g := New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	g.AddPO("and", g.And(a, b))
+	g.AddPO("or", g.Or(a, b))
+	g.AddPO("xor", g.Xor(a, b))
+	g.AddPO("xnor", g.Xnor(a, b))
+	g.AddPO("mux", g.Mux(a, b, c))
+	g.AddPO("maj", g.Maj(a, b, c))
+	for m := 0; m < 8; m++ {
+		av, bv, cv := m&1 != 0, m&2 != 0, m&4 != 0
+		out := g.EvalVector([]bool{av, bv, cv})
+		want := []bool{
+			av && bv,
+			av || bv,
+			av != bv,
+			av == bv,
+			map[bool]bool{true: bv, false: cv}[av],
+			(av && bv) || (av && cv) || (bv && cv),
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("m=%d: PO %s = %v, want %v", m, g.POs()[i].Name, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFromTableMatchesFunction(t *testing.T) {
+	check := func(w uint64) bool {
+		fn := tt.FromWords(6, []uint64{w})
+		g := New("q")
+		var ins []Lit
+		for i := 0; i < 6; i++ {
+			ins = append(ins, g.AddPI(""))
+		}
+		g.AddPO("f", g.FromTable(fn, ins))
+		for m := 0; m < 64; m++ {
+			assign := make([]bool, 6)
+			for i := 0; i < 6; i++ {
+				assign[i] = m&(1<<i) != 0
+			}
+			if g.EvalVector(assign)[0] != fn.Bit(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateBitParallel(t *testing.T) {
+	g := New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	x := g.Xor(a, b)
+	g.AddPO("x", x)
+	rng := rand.New(rand.NewSource(1))
+	wa, wb := rng.Uint64(), rng.Uint64()
+	vals := g.Simulate([]uint64{wa, wb})
+	if LitValue(vals, x) != wa^wb {
+		t.Fatal("bit-parallel XOR wrong")
+	}
+	if LitValue(vals, x.Not()) != ^(wa ^ wb) {
+		t.Fatal("complemented literal value wrong")
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	g := New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	x := g.And(a, b)
+	y := g.And(x, a.Not())
+	g.AddPO("y", y)
+	lv := g.Levels()
+	if lv[x.Node()] != 1 || lv[y.Node()] != 2 {
+		t.Fatalf("levels wrong: %v", lv)
+	}
+	if g.Depth() != 2 {
+		t.Fatalf("depth = %d", g.Depth())
+	}
+}
+
+func TestRefs(t *testing.T) {
+	g := New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	x := g.And(a, b)
+	y := g.And(x, a.Not())
+	g.AddPO("x", x)
+	g.AddPO("y", y)
+	refs := g.Refs()
+	if refs[x.Node()] != 2 { // fanin of y + PO
+		t.Fatalf("refs(x) = %d, want 2", refs[x.Node()])
+	}
+	if refs[a.Node()] != 2 {
+		t.Fatalf("refs(a) = %d, want 2", refs[a.Node()])
+	}
+}
+
+func TestAdderSemantics(t *testing.T) {
+	g := New("add")
+	a := g.NewWordPIs("a", 8)
+	b := g.NewWordPIs("b", 8)
+	sum, carry := g.Add(a, b, False)
+	g.AddPOWord("s", sum)
+	g.AddPO("c", carry)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		av := rng.Uint64() & 0xFF
+		bv := rng.Uint64() & 0xFF
+		assign := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			assign[i] = av&(1<<i) != 0
+			assign[8+i] = bv&(1<<i) != 0
+		}
+		out := g.EvalVector(assign)
+		got := uint64(0)
+		for i := 0; i < 8; i++ {
+			if out[i] {
+				got |= 1 << i
+			}
+		}
+		want := (av + bv) & 0xFF
+		if got != want {
+			t.Fatalf("adder: %d+%d = %d, want %d", av, bv, got, want)
+		}
+		if out[8] != ((av+bv)>>8 != 0) {
+			t.Fatalf("carry wrong for %d+%d", av, bv)
+		}
+	}
+}
+
+func TestSubAndCompare(t *testing.T) {
+	g := New("cmp")
+	a := g.NewWordPIs("a", 6)
+	b := g.NewWordPIs("b", 6)
+	diff, geq := g.Sub(a, b)
+	g.AddPOWord("d", diff)
+	g.AddPO("geq", geq)
+	g.AddPO("lt", g.LessThan(a, b))
+	g.AddPO("eq", g.EqualWord(a, b))
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		av := rng.Uint64() & 63
+		bv := rng.Uint64() & 63
+		assign := make([]bool, 12)
+		for i := 0; i < 6; i++ {
+			assign[i] = av&(1<<i) != 0
+			assign[6+i] = bv&(1<<i) != 0
+		}
+		out := g.EvalVector(assign)
+		got := uint64(0)
+		for i := 0; i < 6; i++ {
+			if out[i] {
+				got |= 1 << i
+			}
+		}
+		if got != (av-bv)&63 {
+			t.Fatalf("sub wrong: %d-%d", av, bv)
+		}
+		if out[6] != (av >= bv) || out[7] != (av < bv) || out[8] != (av == bv) {
+			t.Fatalf("compare flags wrong: %d vs %d", av, bv)
+		}
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	g := New("mul")
+	a := g.NewWordPIs("a", 5)
+	b := g.NewWordPIs("b", 5)
+	p := g.Mul(a, b)
+	g.AddPOWord("p", p)
+	for av := uint64(0); av < 32; av += 3 {
+		for bv := uint64(0); bv < 32; bv += 5 {
+			assign := make([]bool, 10)
+			for i := 0; i < 5; i++ {
+				assign[i] = av&(1<<i) != 0
+				assign[5+i] = bv&(1<<i) != 0
+			}
+			out := g.EvalVector(assign)
+			got := uint64(0)
+			for i := 0; i < 10; i++ {
+				if out[i] {
+					got |= 1 << i
+				}
+			}
+			if got != av*bv {
+				t.Fatalf("mul: %d*%d = %d, want %d", av, bv, got, av*bv)
+			}
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	g := New("shift")
+	a := g.NewWordPIs("a", 8)
+	sh := g.NewWordPIs("sh", 3)
+	g.AddPOWord("l", g.ShiftLeft(a, sh))
+	g.AddPOWord("r", g.ShiftRight(a, sh))
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		av := rng.Uint64() & 0xFF
+		sv := rng.Uint64() & 7
+		assign := make([]bool, 11)
+		for i := 0; i < 8; i++ {
+			assign[i] = av&(1<<i) != 0
+		}
+		for i := 0; i < 3; i++ {
+			assign[8+i] = sv&(1<<i) != 0
+		}
+		out := g.EvalVector(assign)
+		var gl, gr uint64
+		for i := 0; i < 8; i++ {
+			if out[i] {
+				gl |= 1 << i
+			}
+			if out[8+i] {
+				gr |= 1 << i
+			}
+		}
+		if gl != (av<<sv)&0xFF {
+			t.Fatalf("shl: %d<<%d = %d, want %d", av, sv, gl, (av<<sv)&0xFF)
+		}
+		if gr != av>>sv {
+			t.Fatalf("shr: %d>>%d = %d, want %d", av, sv, gr, av>>sv)
+		}
+	}
+}
+
+func TestReductionOps(t *testing.T) {
+	g := New("red")
+	a := g.NewWordPIs("a", 4)
+	g.AddPO("or", g.ReduceOr(a))
+	g.AddPO("and", g.ReduceAnd(a))
+	g.AddPO("xor", g.ReduceXor(a))
+	for m := 0; m < 16; m++ {
+		assign := make([]bool, 4)
+		ones := 0
+		for i := 0; i < 4; i++ {
+			assign[i] = m&(1<<i) != 0
+			if assign[i] {
+				ones++
+			}
+		}
+		out := g.EvalVector(assign)
+		if out[0] != (m != 0) || out[1] != (m == 15) || out[2] != (ones%2 == 1) {
+			t.Fatalf("reduction wrong at m=%d", m)
+		}
+	}
+}
+
+func TestConstWord(t *testing.T) {
+	w := ConstWord(8, 0xA5)
+	for i := 0; i < 8; i++ {
+		want := Lit(False)
+		if 0xA5&(1<<i) != 0 {
+			want = True
+		}
+		if w[i] != want {
+			t.Fatalf("ConstWord bit %d wrong", i)
+		}
+	}
+}
+
+func TestPIAfterAndPanics(t *testing.T) {
+	g := New("t")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.And(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddPI after And should panic")
+		}
+	}()
+	g.AddPI("late")
+}

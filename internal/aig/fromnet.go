@@ -1,0 +1,40 @@
+package aig
+
+import (
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// FromNetwork decomposes a LUT network back into an and-inverter graph
+// (each LUT becomes the SOP logic of its ISOP cover). Combined with the
+// mapper this allows re-mapping imported circuits with a different K.
+func FromNetwork(net *network.Network) *Graph {
+	g := New(net.Name)
+	lits := make([]Lit, net.NumNodes())
+	for _, pi := range net.PIs() {
+		lits[pi] = g.AddPI(net.Node(pi).Name)
+	}
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := network.NodeID(id)
+		nd := net.Node(nid)
+		switch nd.Kind {
+		case network.KindConst:
+			if nd.Func.IsConst1() {
+				lits[nid] = True
+			} else {
+				lits[nid] = False
+			}
+		case network.KindLUT:
+			inputs := make([]Lit, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				inputs[i] = lits[f]
+			}
+			on := tt.ISOP(nd.Func)
+			lits[nid] = g.FromCover(on, inputs)
+		}
+	}
+	for _, po := range net.POs() {
+		g.AddPO(po.Name, lits[po.Driver])
+	}
+	return g
+}

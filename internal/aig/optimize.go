@@ -1,0 +1,43 @@
+package aig
+
+// Optimize runs a synthesis script over the graph, ABC-style: a sequence of
+// named passes from {"balance", "rewrite", "refactor", "cleanup"}, e.g. the
+// classic light script {"balance", "rewrite", "refactor", "balance"}.
+// Unknown pass names are ignored. The result is functionally equivalent to
+// the input.
+func Optimize(g *Graph, script []string) *Graph {
+	if len(script) == 0 {
+		script = []string{"balance", "rewrite", "refactor", "balance"}
+	}
+	cur := g
+	for _, pass := range script {
+		switch pass {
+		case "balance":
+			cur = Balance(cur)
+		case "rewrite":
+			cur = Rewrite(cur)
+		case "refactor":
+			cur = Refactor(cur, 8)
+		case "cleanup":
+			cur = Cleanup(cur)
+		}
+	}
+	return cur
+}
+
+// OptimizeFixpoint repeats the script until neither the node count nor the
+// depth improves, with an iteration bound as a safety net.
+func OptimizeFixpoint(g *Graph, script []string, maxRounds int) *Graph {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	cur := Cleanup(g)
+	for round := 0; round < maxRounds; round++ {
+		next := Optimize(cur, script)
+		if next.NumAnds() >= cur.NumAnds() && next.Depth() >= cur.Depth() {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}

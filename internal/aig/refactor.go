@@ -1,0 +1,150 @@
+package aig
+
+import (
+	"simgen/internal/tt"
+)
+
+// Refactor rebuilds the logic cone of every node from its local truth
+// table: the node's maximal single-output cone (bounded to maxCut leaves)
+// is collapsed into a truth table, re-synthesized from an ISOP cover, and
+// the smaller implementation wins — ABC's "refactor" pass in simplified
+// form. The result is functionally equivalent; node count never grows
+// (structural hashing reuses existing logic).
+func Refactor(g *Graph, maxCut int) *Graph {
+	if maxCut < 2 {
+		maxCut = 8
+	}
+	if maxCut > 14 {
+		maxCut = 14 // truth-table width limit (tt.MaxVars slack)
+	}
+	refs := g.Refs()
+	out := New(g.Name)
+	for i := 0; i < g.NumPIs(); i++ {
+		out.AddPI(g.PIName(i))
+	}
+	mapping := make([]Lit, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = Lit(1<<31 - 1)
+	}
+	mapping[0] = False
+	for i := 0; i < g.NumPIs(); i++ {
+		mapping[1+i] = out.PILit(i)
+	}
+	mapLit := func(l Lit) Lit { return mapping[l.Node()].NotIf(l.IsNeg()) }
+
+	for node := uint32(g.NumPIs() + 1); node < uint32(g.NumNodes()); node++ {
+		if refs[node] == 0 {
+			continue // dead; skip (mapping stays unset, never referenced)
+		}
+		// Collect a single-fanout cone rooted here, stopping at shared
+		// nodes, PIs, and the leaf budget.
+		leaves := collectCone(g, node, refs, maxCut)
+		if len(leaves) > maxCut || len(leaves) < 2 {
+			f0, f1 := g.Fanins(node)
+			mapping[node] = out.And(mapLit(f0), mapLit(f1))
+			continue
+		}
+		fn := coneFunction(g, node, leaves)
+		inputs := make([]Lit, len(leaves))
+		for i, l := range leaves {
+			inputs[i] = mapLit(MakeLit(l, false))
+		}
+		before := out.NumAnds()
+		cand := out.FromCover(tt.ISOP(fn), inputs)
+		grewBy := out.NumAnds() - before
+		// Estimate the straight copy's cost: the cone size. When the
+		// resynthesis is larger, it still shares everything through the
+		// strash, so accept it only if it did not grow past the cone.
+		coneSize := coneNodeCount(g, node, refs, maxCut)
+		if grewBy <= coneSize {
+			mapping[node] = cand
+		} else {
+			// Rebuild structurally (the resynthesis stays in the strash
+			// and is dropped by a final Cleanup if unused).
+			f0, f1 := g.Fanins(node)
+			mapping[node] = out.And(mapLit(f0), mapLit(f1))
+		}
+	}
+	for _, po := range g.POs() {
+		out.AddPO(po.Name, mapLit(po.Lit))
+	}
+	result := Cleanup(out)
+	// Per-cone acceptance works on estimates, so pathological sharing can
+	// still grow the total; guarantee no growth globally.
+	if base := Cleanup(g); base.NumAnds() < result.NumAnds() {
+		return base
+	}
+	return result
+}
+
+// collectCone returns the leaves of the maximal single-fanout cone rooted
+// at node (shared nodes and PIs are leaves), giving up early when the leaf
+// set exceeds budget.
+func collectCone(g *Graph, root uint32, refs []int32, budget int) []uint32 {
+	var leaves []uint32
+	seen := map[uint32]bool{}
+	var walk func(n uint32, isRoot bool) bool
+	walk = func(n uint32, isRoot bool) bool {
+		if !isRoot && (!g.IsAnd(n) || refs[n] > 1) {
+			if !seen[n] {
+				seen[n] = true
+				leaves = append(leaves, n)
+			}
+			return len(leaves) <= budget
+		}
+		f0, f1 := g.Fanins(n)
+		return walk(f0.Node(), false) && walk(f1.Node(), false)
+	}
+	walk(root, true)
+	return leaves
+}
+
+// coneFunction computes the root's function over the cone leaves.
+func coneFunction(g *Graph, root uint32, leaves []uint32) tt.Table {
+	k := len(leaves)
+	memo := map[uint32]tt.Table{}
+	for i, l := range leaves {
+		memo[l] = tt.Var(k, i)
+	}
+	var eval func(n uint32) tt.Table
+	evalLit := func(l Lit) tt.Table {
+		t := eval(l.Node())
+		if l.IsNeg() {
+			return t.Not()
+		}
+		return t
+	}
+	eval = func(n uint32) tt.Table {
+		if t, ok := memo[n]; ok {
+			return t
+		}
+		if n == 0 {
+			return tt.Const(k, false)
+		}
+		f0, f1 := g.Fanins(n)
+		t := evalLit(f0).And(evalLit(f1))
+		memo[n] = t
+		return t
+	}
+	return eval(root)
+}
+
+// coneNodeCount counts the internal nodes of the single-fanout cone.
+func coneNodeCount(g *Graph, root uint32, refs []int32, budget int) int {
+	count := 0
+	var walk func(n uint32, isRoot bool)
+	walk = func(n uint32, isRoot bool) {
+		if !isRoot && (!g.IsAnd(n) || refs[n] > 1) {
+			return
+		}
+		count++
+		if count > 4*budget {
+			return
+		}
+		f0, f1 := g.Fanins(n)
+		walk(f0.Node(), false)
+		walk(f1.Node(), false)
+	}
+	walk(root, true)
+	return count
+}

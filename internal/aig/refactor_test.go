@@ -1,0 +1,196 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+func TestRefactorPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		g := New("rf")
+		lits := make([]Lit, 0, 128)
+		for i := 0; i < 7; i++ {
+			lits = append(lits, g.AddPI(""))
+		}
+		for i := 0; i < 90; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for i := 0; i < 3; i++ {
+			g.AddPO("", lits[len(lits)-1-i].NotIf(i%2 == 1))
+		}
+		r := Refactor(g, 8)
+		checkSameFunctionT(t, g, r, "refactor")
+	}
+}
+
+func TestRefactorShrinksRedundantLogic(t *testing.T) {
+	// Build (a & b) | (a & !b) — which is just a — through a wasteful
+	// structure; refactoring must collapse it.
+	g := New("red")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	wasteful := g.Or(g.And(a, b), g.And(a, b.Not()))
+	g.AddPO("o", g.And(wasteful, c))
+	r := Refactor(g, 8)
+	checkSameFunctionT(t, g, r, "refactor-shrink")
+	if r.NumAnds() >= g.NumAnds() {
+		t.Fatalf("refactor did not shrink: %d vs %d ANDs", r.NumAnds(), g.NumAnds())
+	}
+}
+
+func TestRefactorNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		g := New("ng")
+		lits := make([]Lit, 0, 256)
+		for i := 0; i < 10; i++ {
+			lits = append(lits, g.AddPI(""))
+		}
+		for i := 0; i < 150; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for i := 0; i < 5; i++ {
+			g.AddPO("", lits[len(lits)-1-rng.Intn(20)])
+		}
+		base := Cleanup(g)
+		r := Refactor(g, 8)
+		if r.NumAnds() > base.NumAnds() {
+			t.Fatalf("trial %d: refactor grew the graph: %d vs %d", trial, r.NumAnds(), base.NumAnds())
+		}
+	}
+}
+
+func TestFromNetworkRoundTrip(t *testing.T) {
+	// Build a network, decompose to AIG, verify functions match.
+	n := network.New("rt")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	maj := tt.Var(3, 0).And(tt.Var(3, 1)).Or(tt.Var(3, 0).And(tt.Var(3, 2))).Or(tt.Var(3, 1).And(tt.Var(3, 2)))
+	xor3 := tt.Var(3, 0).Xor(tt.Var(3, 1)).Xor(tt.Var(3, 2))
+	m := n.AddLUT("m", []network.NodeID{a, b, c}, maj)
+	x := n.AddLUT("x", []network.NodeID{a, b, c}, xor3)
+	k1 := n.AddConst(true)
+	and2 := tt.Var(2, 0).And(tt.Var(2, 1))
+	gated := n.AddLUT("g", []network.NodeID{x, k1}, and2)
+	n.AddPO("maj", m)
+	n.AddPO("xor", gated)
+
+	g := FromNetwork(n)
+	if g.NumPIs() != 3 || len(g.POs()) != 2 {
+		t.Fatalf("interface: %s", g.Stats())
+	}
+	for mnt := 0; mnt < 8; mnt++ {
+		assign := []bool{mnt&1 != 0, mnt&2 != 0, mnt&4 != 0}
+		ones := 0
+		for _, v := range assign {
+			if v {
+				ones++
+			}
+		}
+		out := g.EvalVector(assign)
+		if out[0] != (ones >= 2) {
+			t.Fatalf("minterm %d: majority wrong", mnt)
+		}
+		if out[1] != (ones%2 == 1) {
+			t.Fatalf("minterm %d: xor wrong", mnt)
+		}
+	}
+}
+
+func TestRewritePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := New("rw")
+		lits := make([]Lit, 0, 128)
+		for i := 0; i < 7; i++ {
+			lits = append(lits, g.AddPI(""))
+		}
+		for i := 0; i < 90; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for i := 0; i < 3; i++ {
+			g.AddPO("", lits[len(lits)-1-i].NotIf(i%2 == 1))
+		}
+		r := Rewrite(g)
+		checkSameFunctionT(t, g, r, "rewrite")
+		if r.NumAnds() > Cleanup(g).NumAnds() {
+			t.Fatalf("trial %d: rewrite grew the graph", trial)
+		}
+	}
+}
+
+func TestRewriteCompressesKnownPattern(t *testing.T) {
+	// MUX built wastefully: (s&a) | (!s&a&b) | ... craft a cone whose ISOP
+	// over the canonical class is smaller.
+	g := New("mux")
+	s := g.AddPI("s")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	// f = (s&a&b) | (s&a&!b) | (!s&b)  ==  (s&a) | (!s&b)   (a mux)
+	t1 := g.And(g.And(s, a), b)
+	t2 := g.And(g.And(s, a), b.Not())
+	t3 := g.And(s.Not(), b)
+	g.AddPO("f", g.Or(g.Or(t1, t2), t3))
+	r := Rewrite(g)
+	checkSameFunctionT(t, g, r, "rewrite-mux")
+	if r.NumAnds() >= Cleanup(g).NumAnds() {
+		t.Fatalf("rewrite missed the mux compression: %d vs %d", r.NumAnds(), Cleanup(g).NumAnds())
+	}
+}
+
+func TestRewriteOnBenchmarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	_ = rng
+	for _, name := range []string{"misex3c", "e64"} {
+		// Build via the registered generator through a tiny import dance:
+		// use FromNetwork on the mapped circuit to get a realistic AIG.
+		g := buildBenchmarkAIG(t, name)
+		r := Rewrite(g)
+		checkSameFunctionT(t, g, r, "rewrite-"+name)
+	}
+}
+
+// buildBenchmarkAIG produces a mid-size realistic AIG without importing
+// genbench (which would create an import cycle in tests): a two-level SOP
+// circuit with shared cubes.
+func buildBenchmarkAIG(t *testing.T, seedName string) *Graph {
+	t.Helper()
+	seed := int64(0)
+	for _, c := range seedName {
+		seed = seed*31 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(seedName)
+	inputs := make([]Lit, 16)
+	for i := range inputs {
+		inputs[i] = g.AddPI("")
+	}
+	terms := make([]Lit, 60)
+	for i := range terms {
+		term := True
+		for _, v := range rng.Perm(16)[:2+rng.Intn(4)] {
+			term = g.And(term, inputs[v].NotIf(rng.Intn(2) == 1))
+		}
+		terms[i] = term
+	}
+	for o := 0; o < 12; o++ {
+		sum := False
+		for _, ti := range rng.Perm(60)[:4+rng.Intn(8)] {
+			sum = g.Or(sum, terms[ti])
+		}
+		g.AddPO("", sum)
+	}
+	return g
+}

@@ -1,0 +1,107 @@
+package aig
+
+import (
+	"simgen/internal/tt"
+)
+
+// npnEntry caches the chosen synthesis recipe for one NPN class: the SOP
+// cover to instantiate and whether it realizes the complement of the
+// canonical function (when the off-set factors better).
+type npnEntry struct {
+	cover      tt.Cover
+	complement bool
+}
+
+// Rewrite is ABC-style cut rewriting specialized to single-fanout cones of
+// up to four leaves: each cone's function is NPN-canonized, synthesized
+// once per class from the better of its on-/off-set ISOP covers, and
+// instantiated through the NPN transform (input negations are free on AIG
+// edges). Functionally equivalent; never grows the graph.
+func Rewrite(g *Graph) *Graph {
+	refs := g.Refs()
+	out := New(g.Name)
+	for i := 0; i < g.NumPIs(); i++ {
+		out.AddPI(g.PIName(i))
+	}
+	mapping := make([]Lit, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = Lit(1<<31 - 1)
+	}
+	mapping[0] = False
+	for i := 0; i < g.NumPIs(); i++ {
+		mapping[1+i] = out.PILit(i)
+	}
+	mapLit := func(l Lit) Lit { return mapping[l.Node()].NotIf(l.IsNeg()) }
+
+	library := map[uint64]npnEntry{}
+
+	for node := uint32(g.NumPIs() + 1); node < uint32(g.NumNodes()); node++ {
+		if refs[node] == 0 {
+			continue
+		}
+		straight := func() Lit {
+			f0, f1 := g.Fanins(node)
+			return out.And(mapLit(f0), mapLit(f1))
+		}
+		leaves := collectCone(g, node, refs, 4)
+		if len(leaves) < 2 || len(leaves) > 4 {
+			mapping[node] = straight()
+			continue
+		}
+		fn := coneFunction(g, node, leaves)
+		canon, tr := tt.NPNCanon(fn)
+		entry, ok := library[canon.Hash()]
+		if !ok {
+			on := tt.ISOP(canon)
+			off := tt.ISOP(canon.Not())
+			entry = npnEntry{cover: on}
+			if coverCost(off) < coverCost(on) {
+				entry = npnEntry{cover: off, complement: true}
+			}
+			library[canon.Hash()] = entry
+		}
+		// Wire canonical input i to leaf perm[i], negated when the forward
+		// transform negated that original input (negations ride on edges).
+		inputs := make([]Lit, len(leaves))
+		for i := range inputs {
+			src := tr.Perm[i]
+			neg := tr.InputNeg&(1<<uint(src)) != 0
+			inputs[i] = mapLit(MakeLit(leaves[src], false)).NotIf(neg)
+		}
+		before := out.NumAnds()
+		cand := out.FromCover(entry.cover, inputs)
+		if entry.complement {
+			cand = cand.Not()
+		}
+		if tr.OutputNeg {
+			cand = cand.Not()
+		}
+		if out.NumAnds()-before <= coneNodeCount(g, node, refs, 4) {
+			mapping[node] = cand
+		} else {
+			mapping[node] = straight()
+		}
+	}
+	for _, po := range g.POs() {
+		out.AddPO(po.Name, mapLit(po.Lit))
+	}
+	result := Cleanup(out)
+	if base := Cleanup(g); base.NumAnds() < result.NumAnds() {
+		return base
+	}
+	return result
+}
+
+// coverCost estimates the AND nodes an SOP instantiation needs.
+func coverCost(cv tt.Cover) int {
+	cost := 0
+	for _, c := range cv {
+		if n := c.NumLiterals(); n > 1 {
+			cost += n - 1
+		}
+	}
+	if len(cv) > 1 {
+		cost += len(cv) - 1
+	}
+	return cost
+}

@@ -1,0 +1,136 @@
+package aig
+
+import "sort"
+
+// Cleanup returns a copy of the graph containing only logic reachable from
+// the primary outputs, with structural hashing re-applied (so duplicate
+// definitions collapse). PIs are always preserved to keep the interface.
+func Cleanup(g *Graph) *Graph {
+	out := New(g.Name)
+	for i := 0; i < g.NumPIs(); i++ {
+		out.AddPI(g.PIName(i))
+	}
+	mapping := make([]Lit, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = Lit(1<<31 - 1) // sentinel: unmapped
+	}
+	mapping[0] = False
+	for i := 0; i < g.NumPIs(); i++ {
+		mapping[1+i] = out.PILit(i)
+	}
+	var build func(node uint32) Lit
+	build = func(node uint32) Lit {
+		if m := mapping[node]; m != Lit(1<<31-1) {
+			return m
+		}
+		f0, f1 := g.Fanins(node)
+		l := out.And(
+			build(f0.Node()).NotIf(f0.IsNeg()),
+			build(f1.Node()).NotIf(f1.IsNeg()),
+		)
+		mapping[node] = l
+		return l
+	}
+	for _, po := range g.POs() {
+		out.AddPO(po.Name, build(po.Lit.Node()).NotIf(po.Lit.IsNeg()))
+	}
+	return out
+}
+
+// Balance rebuilds the graph with depth-balanced AND trees: every maximal
+// conjunction (a tree of AND nodes reached through non-complemented edges
+// whose internal nodes have no other fanout) is re-associated so the
+// lowest-arrival operands combine first — the core of ABC's "balance".
+// The result is functionally equivalent with depth at most the original's.
+func Balance(g *Graph) *Graph {
+	out := New(g.Name)
+	for i := 0; i < g.NumPIs(); i++ {
+		out.AddPI(g.PIName(i))
+	}
+	refs := g.Refs()
+	mapping := make([]Lit, g.NumNodes())
+	for i := range mapping {
+		mapping[i] = Lit(1<<31 - 1)
+	}
+	mapping[0] = False
+	for i := 0; i < g.NumPIs(); i++ {
+		mapping[1+i] = out.PILit(i)
+	}
+	var bal balancer
+
+	// collectConjunction gathers the leaves of the maximal single-fanout
+	// AND tree rooted at node.
+	var build func(node uint32) Lit
+	var collect func(l Lit, root bool, leaves *[]Lit)
+	collect = func(l Lit, root bool, leaves *[]Lit) {
+		n := l.Node()
+		if !root {
+			// Stop at complemented edges, PIs/constants, or shared nodes:
+			// they are leaves of the conjunction.
+			if l.IsNeg() || !g.IsAnd(n) || refs[n] > 1 {
+				*leaves = append(*leaves, build(n).NotIf(l.IsNeg()))
+				return
+			}
+		}
+		f0, f1 := g.Fanins(n)
+		collect(f0, false, leaves)
+		collect(f1, false, leaves)
+	}
+	build = func(node uint32) Lit {
+		if m := mapping[node]; m != Lit(1<<31-1) {
+			return m
+		}
+		var leaves []Lit
+		collect(MakeLit(node, false), true, &leaves)
+		l := bal.and(leaves)
+		mapping[node] = l
+		return l
+	}
+	bal.g = out
+	for _, po := range g.POs() {
+		out.AddPO(po.Name, build(po.Lit.Node()).NotIf(po.Lit.IsNeg()))
+	}
+	return out
+}
+
+// balancer combines literals pairwise, always joining the two with the
+// smallest levels (Huffman-style), which minimizes tree depth. It tracks
+// node levels incrementally as it creates nodes.
+type balancer struct {
+	g      *Graph
+	levels []int32
+}
+
+func (b *balancer) levelOf(l Lit) int32 {
+	n := int(l.Node())
+	for len(b.levels) <= n {
+		// Nodes created outside the balancer (PIs, etc.) get their level
+		// computed from fanins already tracked; PIs/constant are 0.
+		i := len(b.levels)
+		var lv int32
+		if b.g.IsAnd(uint32(i)) {
+			f0, f1 := b.g.Fanins(uint32(i))
+			l0, l1 := b.levels[f0.Node()], b.levels[f1.Node()]
+			if l1 > l0 {
+				l0 = l1
+			}
+			lv = l0 + 1
+		}
+		b.levels = append(b.levels, lv)
+	}
+	return b.levels[n]
+}
+
+func (b *balancer) and(leaves []Lit) Lit {
+	if len(leaves) == 0 {
+		return True
+	}
+	work := append([]Lit(nil), leaves...)
+	for len(work) > 1 {
+		sort.Slice(work, func(i, j int) bool { return b.levelOf(work[i]) < b.levelOf(work[j]) })
+		combined := b.g.And(work[0], work[1])
+		b.levelOf(combined) // extend the level table
+		work = append(work[2:], combined)
+	}
+	return work[0]
+}

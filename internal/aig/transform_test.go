@@ -1,0 +1,152 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkSameFunctionT(t *testing.T, g1, g2 *Graph, label string) {
+	t.Helper()
+	if g1.NumPIs() != g2.NumPIs() || len(g1.POs()) != len(g2.POs()) {
+		t.Fatalf("%s: interface changed: %s vs %s", label, g1.Stats(), g2.Stats())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		vec := g1.RandomVector(rng)
+		o1, o2 := g1.EvalVector(vec), g2.EvalVector(vec)
+		for p := range o1 {
+			if o1[p] != o2[p] {
+				t.Fatalf("%s: PO %d differs", label, p)
+			}
+		}
+	}
+}
+
+func TestCleanupRemovesDeadLogic(t *testing.T) {
+	g := New("dead")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	live := g.And(a, b)
+	dead := g.And(a.Not(), b)
+	g.And(dead, live) // also dead
+	g.AddPO("o", live)
+	clean := Cleanup(g)
+	if clean.NumAnds() != 1 {
+		t.Fatalf("dead logic kept: %d ANDs", clean.NumAnds())
+	}
+	checkSameFunctionT(t, g, clean, "cleanup")
+}
+
+func TestCleanupPreservesPIs(t *testing.T) {
+	g := New("pis")
+	g.AddPI("unused")
+	b := g.AddPI("used")
+	g.AddPO("o", b.Not())
+	clean := Cleanup(g)
+	if clean.NumPIs() != 2 || clean.PIName(0) != "unused" {
+		t.Fatal("unused PI dropped")
+	}
+}
+
+func TestBalanceReducesChainDepth(t *testing.T) {
+	// A linear AND chain of 16 inputs has depth 15; balanced it is 4.
+	g := New("chain")
+	in := make([]Lit, 16)
+	for i := range in {
+		in[i] = g.AddPI("")
+	}
+	acc := in[0]
+	for _, l := range in[1:] {
+		acc = g.And(acc, l)
+	}
+	g.AddPO("o", acc)
+	if g.Depth() != 15 {
+		t.Fatalf("chain depth = %d", g.Depth())
+	}
+	b := Balance(g)
+	if b.Depth() != 4 {
+		t.Fatalf("balanced depth = %d, want 4", b.Depth())
+	}
+	checkSameFunctionT(t, g, b, "balance-chain")
+}
+
+func TestBalancePreservesFunctionOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := New("rand")
+		lits := make([]Lit, 0, 64)
+		for i := 0; i < 6; i++ {
+			lits = append(lits, g.AddPI(""))
+		}
+		for i := 0; i < 60; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for i := 0; i < 4; i++ {
+			g.AddPO("", lits[len(lits)-1-i].NotIf(i%2 == 0))
+		}
+		b := Balance(g)
+		if b.Depth() > g.Depth() {
+			t.Fatalf("trial %d: balance increased depth %d -> %d", trial, g.Depth(), b.Depth())
+		}
+		checkSameFunctionT(t, g, b, "balance-random")
+	}
+}
+
+func TestBalanceStopsAtSharedNodes(t *testing.T) {
+	// x = a&b feeds two conjunctions; balancing must not duplicate it in a
+	// way that changes the function (it may reuse it).
+	g := New("shared")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	d := g.AddPI("d")
+	x := g.And(a, b)
+	g.AddPO("p", g.And(x, c))
+	g.AddPO("q", g.And(x, d))
+	bal := Balance(g)
+	checkSameFunctionT(t, g, bal, "balance-shared")
+}
+
+func TestBalanceWordArithmetic(t *testing.T) {
+	g := New("adder")
+	x := g.NewWordPIs("x", 8)
+	y := g.NewWordPIs("y", 8)
+	s, c := g.Add(x, y, False)
+	g.AddPOWord("s", s)
+	g.AddPO("c", c)
+	bal := Balance(g)
+	checkSameFunctionT(t, g, bal, "balance-adder")
+	clean := Cleanup(bal)
+	checkSameFunctionT(t, g, clean, "cleanup-after-balance")
+}
+
+func TestOptimizeScripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := New("opt")
+	lits := make([]Lit, 0, 256)
+	for i := 0; i < 8; i++ {
+		lits = append(lits, g.AddPI(""))
+	}
+	for i := 0; i < 120; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < 4; i++ {
+		g.AddPO("", lits[len(lits)-1-i])
+	}
+	opt := Optimize(g, nil) // default script
+	checkSameFunctionT(t, g, opt, "optimize-default")
+
+	fix := OptimizeFixpoint(g, []string{"balance", "refactor"}, 8)
+	checkSameFunctionT(t, g, fix, "optimize-fixpoint")
+	base := Cleanup(g)
+	if fix.NumAnds() > base.NumAnds() {
+		t.Fatalf("fixpoint grew: %d vs %d", fix.NumAnds(), base.NumAnds())
+	}
+	// Unknown passes are ignored.
+	same := Optimize(g, []string{"frobnicate"})
+	checkSameFunctionT(t, g, same, "optimize-unknown")
+}

@@ -1,0 +1,217 @@
+package aig
+
+// Word is a little-endian vector of literals, used to build word-level
+// arithmetic (adders, multipliers, shifters) inside an AIG. Word[0] is the
+// least significant bit.
+type Word []Lit
+
+// NewWordPIs creates a word of fresh primary inputs named prefix0..prefixN-1.
+func (g *Graph) NewWordPIs(prefix string, width int) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = g.AddPI(prefixIndex(prefix, i))
+	}
+	return w
+}
+
+func prefixIndex(prefix string, i int) string {
+	return prefix + "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// ConstWord builds a word holding the constant value (truncated to width).
+func ConstWord(width int, value uint64) Word {
+	w := make(Word, width)
+	for i := range w {
+		if value&(1<<uint(i)) != 0 {
+			w[i] = True
+		} else {
+			w[i] = False
+		}
+	}
+	return w
+}
+
+// NotWord complements every bit.
+func (g *Graph) NotWord(a Word) Word {
+	out := make(Word, len(a))
+	for i, l := range a {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// AndWord computes the bitwise AND of equal-width words.
+func (g *Graph) AndWord(a, b Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = g.And(a[i], b[i])
+	}
+	return out
+}
+
+// OrWord computes the bitwise OR of equal-width words.
+func (g *Graph) OrWord(a, b Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = g.Or(a[i], b[i])
+	}
+	return out
+}
+
+// XorWord computes the bitwise XOR of equal-width words.
+func (g *Graph) XorWord(a, b Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = g.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// fullAdder returns (sum, carry) of three bits.
+func (g *Graph) fullAdder(a, b, c Lit) (Lit, Lit) {
+	return g.Xor(g.Xor(a, b), c), g.Maj(a, b, c)
+}
+
+// Add computes a + b + cin as a ripple-carry adder; the result has the
+// width of a and the final carry is returned separately.
+func (g *Graph) Add(a, b Word, cin Lit) (Word, Lit) {
+	if len(a) != len(b) {
+		panic("aig: Add width mismatch")
+	}
+	out := make(Word, len(a))
+	c := cin
+	for i := range a {
+		out[i], c = g.fullAdder(a[i], b[i], c)
+	}
+	return out, c
+}
+
+// Sub computes a - b (two's complement) and returns the difference plus a
+// no-borrow flag (1 when a >= b, unsigned).
+func (g *Graph) Sub(a, b Word) (Word, Lit) {
+	return g.Add(a, g.NotWord(b), True)
+}
+
+// Mul computes the low len(a)+len(b) bits of the unsigned product via an
+// array multiplier.
+func (g *Graph) Mul(a, b Word) Word {
+	width := len(a) + len(b)
+	acc := ConstWord(width, 0)
+	for i, bi := range b {
+		partial := ConstWord(width, 0)
+		for j, aj := range a {
+			if i+j < width {
+				partial[i+j] = g.And(aj, bi)
+			}
+		}
+		acc, _ = g.Add(acc, partial, False)
+	}
+	return acc
+}
+
+// MuxWord selects t when s is true, else e.
+func (g *Graph) MuxWord(s Lit, t, e Word) Word {
+	if len(t) != len(e) {
+		panic("aig: MuxWord width mismatch")
+	}
+	out := make(Word, len(t))
+	for i := range t {
+		out[i] = g.Mux(s, t[i], e[i])
+	}
+	return out
+}
+
+// ShiftLeftConst shifts the word left by k bits, dropping overflow.
+func ShiftLeftConst(a Word, k int) Word {
+	out := make(Word, len(a))
+	for i := range out {
+		if i >= k {
+			out[i] = a[i-k]
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// ShiftRightConst shifts the word right by k bits (logical).
+func ShiftRightConst(a Word, k int) Word {
+	out := make(Word, len(a))
+	for i := range out {
+		if i+k < len(a) {
+			out[i] = a[i+k]
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// ShiftLeft shifts a left by the amount encoded in sh (a barrel shifter).
+func (g *Graph) ShiftLeft(a Word, sh Word) Word {
+	out := a
+	for k, s := range sh {
+		if 1<<uint(k) >= len(a)*2 {
+			break
+		}
+		out = g.MuxWord(s, ShiftLeftConst(out, 1<<uint(k)), out)
+	}
+	return out
+}
+
+// ShiftRight shifts a right by the amount encoded in sh.
+func (g *Graph) ShiftRight(a Word, sh Word) Word {
+	out := a
+	for k, s := range sh {
+		if 1<<uint(k) >= len(a)*2 {
+			break
+		}
+		out = g.MuxWord(s, ShiftRightConst(out, 1<<uint(k)), out)
+	}
+	return out
+}
+
+// LessThan returns the unsigned a < b flag.
+func (g *Graph) LessThan(a, b Word) Lit {
+	_, geq := g.Sub(a, b)
+	return geq.Not()
+}
+
+// EqualWord returns the a == b flag.
+func (g *Graph) EqualWord(a, b Word) Lit {
+	out := True
+	for i := range a {
+		out = g.And(out, g.Xnor(a[i], b[i]))
+	}
+	return out
+}
+
+// ReduceOr ORs all bits of the word.
+func (g *Graph) ReduceOr(a Word) Lit { return g.OrN(a) }
+
+// ReduceAnd ANDs all bits of the word.
+func (g *Graph) ReduceAnd(a Word) Lit { return g.AndN(a) }
+
+// ReduceXor XORs all bits of the word (parity).
+func (g *Graph) ReduceXor(a Word) Lit { return g.XorN(a) }
+
+// AddPOWord registers every bit of the word as a primary output.
+func (g *Graph) AddPOWord(prefix string, w Word) {
+	for i, l := range w {
+		g.AddPO(prefixIndex(prefix, i), l)
+	}
+}

@@ -1,0 +1,298 @@
+// Package aiger reads and writes the AIGER format (ASCII "aag" and binary
+// "aig"), the standard interchange format for and-inverter graphs used by
+// ABC and the hardware model-checking ecosystem. Only combinational graphs
+// are supported (no latches), matching the paper's scope.
+//
+// The encoding maps one-to-one onto this repository's aig.Graph: AIGER
+// literal 2*v+c with variable 0 as constant false is exactly aig.Lit.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"simgen/internal/aig"
+)
+
+// Read parses an AIGER file, autodetecting the ASCII and binary variants.
+func Read(r io.Reader) (*aig.Graph, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %v", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: malformed header %q", strings.TrimSpace(header))
+	}
+	var nums [5]int
+	for i := 0; i < 5; i++ {
+		n, err := strconv.Atoi(fields[i+1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", fields[i+1])
+		}
+		nums[i] = n
+	}
+	m, in, latches, out, ands := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if latches != 0 {
+		return nil, fmt.Errorf("aiger: sequential AIGs (L=%d) are not supported", latches)
+	}
+	if m != in+ands {
+		return nil, fmt.Errorf("aiger: header M=%d inconsistent with I+A=%d", m, in+ands)
+	}
+	switch fields[0] {
+	case "aag":
+		return readASCII(br, m, in, out, ands)
+	case "aig":
+		return readBinary(br, m, in, out, ands)
+	default:
+		return nil, fmt.Errorf("aiger: unknown magic %q", fields[0])
+	}
+}
+
+func readASCII(br *bufio.Reader, m, in, out, ands int) (*aig.Graph, error) {
+	g := aig.New("aiger")
+	readLine := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil && s == "" {
+			return "", err
+		}
+		return strings.TrimSpace(s), nil
+	}
+	for i := 0; i < in; i++ {
+		s, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: input %d: %v", i, err)
+		}
+		lit, err := strconv.Atoi(s)
+		if err != nil || lit != 2*(i+1) {
+			return nil, fmt.Errorf("aiger: input %d has literal %q, want %d", i, s, 2*(i+1))
+		}
+		g.AddPI("")
+	}
+	outLits := make([]aig.Lit, out)
+	for i := 0; i < out; i++ {
+		s, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: output %d: %v", i, err)
+		}
+		lit, err := strconv.Atoi(s)
+		if err != nil || lit < 0 || lit > 2*m+1 {
+			return nil, fmt.Errorf("aiger: output %d: literal %q out of range", i, s)
+		}
+		outLits[i] = aig.Lit(lit)
+	}
+	// AND definitions. AIGER guarantees lhs in increasing order and
+	// rhs0 >= rhs1 with rhs < lhs, so the graph builds topologically;
+	// structural hashing may compact duplicate definitions.
+	mapping := makeIdentity(in + 1)
+	for i := 0; i < ands; i++ {
+		s, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: and %d: %v", i, err)
+		}
+		parts := strings.Fields(s)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("aiger: and %d: malformed line %q", i, s)
+		}
+		var vals [3]int
+		for j, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("aiger: and %d: bad literal %q", i, p)
+			}
+			vals[j] = v
+		}
+		lhs, rhs0, rhs1 := vals[0], vals[1], vals[2]
+		wantLHS := 2 * (in + 1 + i)
+		if lhs != wantLHS {
+			return nil, fmt.Errorf("aiger: and %d: lhs %d, want %d", i, lhs, wantLHS)
+		}
+		if rhs0 >= lhs || rhs1 >= lhs {
+			return nil, fmt.Errorf("aiger: and %d: rhs not smaller than lhs", i)
+		}
+		l := g.And(remap(mapping, aig.Lit(rhs0)), remap(mapping, aig.Lit(rhs1)))
+		mapping = append(mapping, l)
+	}
+	return finish(g, mapping, outLits, br)
+}
+
+func readBinary(br *bufio.Reader, m, in, out, ands int) (*aig.Graph, error) {
+	g := aig.New("aiger")
+	for i := 0; i < in; i++ {
+		g.AddPI("")
+	}
+	// Output literals come as ASCII lines before the binary AND section.
+	outLits := make([]aig.Lit, out)
+	for i := 0; i < out; i++ {
+		s, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: output %d: %v", i, err)
+		}
+		lit, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || lit < 0 || lit > 2*m+1 {
+			return nil, fmt.Errorf("aiger: output %d: literal %q out of range", i, s)
+		}
+		outLits[i] = aig.Lit(lit)
+	}
+	mapping := makeIdentity(in + 1)
+	for i := 0; i < ands; i++ {
+		lhs := uint32(2 * (in + 1 + i))
+		d0, err := readVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: and %d delta0: %v", i, err)
+		}
+		d1, err := readVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: and %d delta1: %v", i, err)
+		}
+		if d0 == 0 || d0 > lhs {
+			return nil, fmt.Errorf("aiger: and %d: invalid delta0", i)
+		}
+		rhs0 := lhs - d0
+		if d1 > rhs0 {
+			return nil, fmt.Errorf("aiger: and %d: invalid delta1", i)
+		}
+		rhs1 := rhs0 - d1
+		l := g.And(remap(mapping, aig.Lit(rhs0)), remap(mapping, aig.Lit(rhs1)))
+		mapping = append(mapping, l)
+	}
+	return finish(g, mapping, outLits, br)
+}
+
+// makeIdentity maps AIGER variables 0..in onto themselves (constant and
+// inputs line up exactly with aig.Graph's layout).
+func makeIdentity(n int) []aig.Lit {
+	m := make([]aig.Lit, n)
+	for i := range m {
+		m[i] = aig.MakeLit(uint32(i), false)
+	}
+	return m
+}
+
+// remap translates an AIGER literal through the variable mapping (needed
+// because structural hashing may collapse AND definitions).
+func remap(mapping []aig.Lit, l aig.Lit) aig.Lit {
+	return mapping[l.Node()].NotIf(l.IsNeg())
+}
+
+// finish registers outputs and parses the optional symbol table.
+func finish(g *aig.Graph, mapping []aig.Lit, outLits []aig.Lit, br *bufio.Reader) (*aig.Graph, error) {
+	names := map[string]string{}
+	for {
+		s, err := br.ReadString('\n')
+		line := strings.TrimSpace(s)
+		if line != "" {
+			if line == "c" || strings.HasPrefix(line, "c ") {
+				break // comment section
+			}
+			parts := strings.SplitN(line, " ", 2)
+			if len(parts) == 2 && len(parts[0]) >= 2 {
+				names[parts[0]] = parts[1]
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	for i := 0; i < g.NumPIs(); i++ {
+		if name := names[fmt.Sprintf("i%d", i)]; name != "" {
+			g.SetPIName(i, name)
+		}
+	}
+	for i, l := range outLits {
+		name := names[fmt.Sprintf("o%d", i)]
+		if name == "" {
+			name = fmt.Sprintf("o%d", i)
+		}
+		g.AddPO(name, remap(mapping, l))
+	}
+	return g, nil
+}
+
+func readVarint(br *bufio.Reader) (uint32, error) {
+	var x uint32
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		x |= uint32(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("varint overflow")
+		}
+	}
+}
+
+// Write emits the graph in ASCII AIGER ("aag") when binary is false, or
+// binary AIGER ("aig") when true, including a symbol table for named PIs
+// and POs.
+func Write(w io.Writer, g *aig.Graph, binary bool) error {
+	bw := bufio.NewWriter(w)
+	in := g.NumPIs()
+	ands := g.NumAnds()
+	m := in + ands
+	magic := "aag"
+	if binary {
+		magic = "aig"
+	}
+	fmt.Fprintf(bw, "%s %d %d 0 %d %d\n", magic, m, in, len(g.POs()), ands)
+
+	if !binary {
+		for i := 0; i < in; i++ {
+			fmt.Fprintf(bw, "%d\n", 2*(i+1))
+		}
+	}
+	for _, po := range g.POs() {
+		fmt.Fprintf(bw, "%d\n", uint32(po.Lit))
+	}
+	for i := 0; i < ands; i++ {
+		node := uint32(in + 1 + i)
+		f0, f1 := g.Fanins(node)
+		// AIGER requires rhs0 >= rhs1.
+		if f0 < f1 {
+			f0, f1 = f1, f0
+		}
+		lhs := 2 * node
+		if binary {
+			if err := writeVarint(bw, lhs-uint32(f0)); err != nil {
+				return err
+			}
+			if err := writeVarint(bw, uint32(f0)-uint32(f1)); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(bw, "%d %d %d\n", lhs, uint32(f0), uint32(f1))
+		}
+	}
+	for i := 0; i < in; i++ {
+		if name := g.PIName(i); name != "" {
+			fmt.Fprintf(bw, "i%d %s\n", i, name)
+		}
+	}
+	for i, po := range g.POs() {
+		if po.Name != "" {
+			fmt.Fprintf(bw, "o%d %s\n", i, po.Name)
+		}
+	}
+	fmt.Fprintf(bw, "c\nwritten by simgen\n")
+	return bw.Flush()
+}
+
+func writeVarint(bw *bufio.Writer, x uint32) error {
+	for x >= 0x80 {
+		if err := bw.WriteByte(byte(x) | 0x80); err != nil {
+			return err
+		}
+		x >>= 7
+	}
+	return bw.WriteByte(byte(x))
+}

@@ -1,0 +1,276 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with a unique table and memoized ITE — the classic verification engine
+// that SAT sweeping displaced (Kuehlmann & Krohm, DAC'97, cited as the
+// starting point of the paper's related work). The sweep package can use it
+// as an alternative equivalence-checking backend, which lets the benchmark
+// harness compare BDD- and SAT-based sweeping.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ref is a reference to a BDD node. The constants False and True are the
+// terminal nodes; other values index the manager's node table. Complement
+// edges are not used — negation materializes nodes — keeping the
+// implementation simple and the semantics obvious.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level    int32 // variable level; terminals use a sentinel
+	lo, hi   Ref
+	nextHash int32 // unique-table chaining
+}
+
+const terminalLevel = int32(1<<31 - 1)
+
+// ErrNodeLimit is returned when a manager exceeds its node budget — BDD
+// blow-up, the reason the field moved to SAT.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+// Manager owns the node table for a fixed variable order: level 0 is the
+// topmost (first tested) variable.
+type Manager struct {
+	nvars   int
+	nodes   []node
+	buckets []int32
+	iteMemo map[[3]Ref]Ref
+
+	// MaxNodes bounds the node table; 0 means the default (1<<22).
+	MaxNodes int
+}
+
+// New returns a manager for nvars variables.
+func New(nvars int) *Manager {
+	m := &Manager{
+		nvars:   nvars,
+		iteMemo: make(map[[3]Ref]Ref),
+	}
+	m.nodes = make([]node, 2, 1024)
+	m.nodes[False] = node{level: terminalLevel}
+	m.nodes[True] = node{level: terminalLevel}
+	m.buckets = make([]int32, 1024)
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// NumNodes returns the number of live nodes including terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+func (m *Manager) hash(level int32, lo, hi Ref) uint32 {
+	h := uint64(level)*0x9E3779B97F4A7C15 ^ uint64(lo)*0xBF58476D1CE4E5B9 ^ uint64(hi)*0x94D049BB133111EB
+	return uint32(h>>32) & uint32(len(m.buckets)-1)
+}
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rules: equal children collapse, duplicates are shared.
+func (m *Manager) mk(level int32, lo, hi Ref) (Ref, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	h := m.hash(level, lo, hi)
+	for i := m.buckets[h]; i >= 0; i = m.nodes[i].nextHash {
+		n := &m.nodes[i]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return Ref(i), nil
+		}
+	}
+	limit := m.MaxNodes
+	if limit == 0 {
+		limit = 1 << 22
+	}
+	if len(m.nodes) >= limit {
+		return False, ErrNodeLimit
+	}
+	ref := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi, nextHash: m.buckets[h]})
+	m.buckets[h] = int32(ref)
+	if len(m.nodes) > 2*len(m.buckets) {
+		m.rehash()
+	}
+	return ref, nil
+}
+
+func (m *Manager) rehash() {
+	m.buckets = make([]int32, 2*len(m.buckets))
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	for i := 2; i < len(m.nodes); i++ {
+		n := &m.nodes[i]
+		h := m.hash(n.level, n.lo, n.hi)
+		n.nextHash = m.buckets[h]
+		m.buckets[h] = int32(i)
+	}
+}
+
+// Var returns the BDD of variable v.
+func (m *Manager) Var(v int) (Ref, error) {
+	if v < 0 || v >= m.nvars {
+		return False, fmt.Errorf("bdd: variable %d out of range", v)
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// level returns the variable level of a reference.
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// ITE computes if-then-else(f, g, h), the universal BDD operation.
+func (m *Manager) ITE(f, g, h Ref) (Ref, error) {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g, nil
+	case f == False:
+		return h, nil
+	case g == h:
+		return g, nil
+	case g == True && h == False:
+		return f, nil
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.iteMemo[key]; ok {
+		return r, nil
+	}
+	// Split on the top variable.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	fLo, fHi := m.cofactors(f, top)
+	gLo, gHi := m.cofactors(g, top)
+	hLo, hHi := m.cofactors(h, top)
+	lo, err := m.ITE(fLo, gLo, hLo)
+	if err != nil {
+		return False, err
+	}
+	hi, err := m.ITE(fHi, gHi, hHi)
+	if err != nil {
+		return False, err
+	}
+	r, err := m.mk(top, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	m.iteMemo[key] = r
+	return r, nil
+}
+
+func (m *Manager) cofactors(r Ref, level int32) (lo, hi Ref) {
+	n := &m.nodes[r]
+	if n.level != level {
+		return r, r
+	}
+	return n.lo, n.hi
+}
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) (Ref, error) { return m.ITE(f, g, False) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) (Ref, error) { return m.ITE(f, True, g) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) (Ref, error) {
+	ng, err := m.Not(g)
+	if err != nil {
+		return False, err
+	}
+	return m.ITE(f, ng, g)
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) (Ref, error) { return m.ITE(f, False, True) }
+
+// Eval evaluates the function under the assignment (assign[v] is variable
+// v's value).
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := &m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// AnySat returns a satisfying assignment of f, or ok=false when f is the
+// constant False. Unconstrained variables are reported as false.
+func (m *Manager) AnySat(f Ref) (assign []bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assign = make([]bool, m.nvars)
+	for f != True {
+		n := &m.nodes[f]
+		if n.lo != False {
+			f = n.lo
+		} else {
+			assign[n.level] = true
+			f = n.hi
+		}
+	}
+	return assign, true
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// nvars variables, computed as the satisfaction probability under uniform
+// inputs (skipped levels need no correction in that formulation) scaled by
+// 2^nvars.
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := map[Ref]float64{}
+	var prob func(r Ref) float64
+	prob = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if p, ok := memo[r]; ok {
+			return p
+		}
+		n := &m.nodes[r]
+		p := 0.5*prob(n.lo) + 0.5*prob(n.hi)
+		memo[r] = p
+		return p
+	}
+	total := 1.0
+	for i := 0; i < m.nvars; i++ {
+		total *= 2
+	}
+	return prob(f) * total
+}
+
+// Size returns the number of nodes reachable from f (excluding terminals).
+func (m *Manager) Size(f Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	walk(f)
+	return len(seen)
+}

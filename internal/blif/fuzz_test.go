@@ -1,0 +1,49 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the BLIF parser on arbitrary inputs: it must never
+// panic, and anything it accepts must survive a write/re-parse round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleBLIF)
+	f.Add(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs f\n.names f\n1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs a\n.end\n")
+	f.Add(".names x\n")
+	f.Add("garbage\n.names\n- 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, net); err != nil {
+			t.Fatalf("accepted network failed to write: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round-trip of accepted input failed: %v\noriginal:\n%s\nwritten:\n%s", err, src, buf.String())
+		}
+	})
+}
+
+// FuzzParseBench exercises the .bench parser the same way (read-only: there
+// is no bench writer, so only no-panic and network validity are checked).
+func FuzzParseBench(f *testing.F) {
+	f.Add(sampleBench)
+	f.Add("INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n")
+	f.Add("q = DFF(d)\nd = AND(q, q)\n")
+	f.Add("INPUT()\nOUTPUT\nx =\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ParseBench(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := net.Check(); err != nil {
+			t.Fatalf("parser produced invalid network: %v", err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Package core implements the SimGen simulation-pattern generator — the
+// contribution of the paper — together with the two baselines it is
+// evaluated against: plain reverse simulation (Zhang et al., DAC'21) and
+// random simulation.
+//
+// SimGen receives equivalence classes of a LUT network, picks desired
+// output values (OUTgold) for the members of a class, and searches for a
+// primary-input vector compatible with those values by interleaving two
+// ATPG-style propagation mechanisms: implication (forced assignments) and
+// decision (heuristic row selection).
+package core
+
+import (
+	"simgen/internal/network"
+)
+
+// value is a ternary node value.
+type value int8
+
+const (
+	unassigned value = -1
+	val0       value = 0
+	val1       value = 1
+)
+
+func boolValue(b bool) value {
+	if b {
+		return val1
+	}
+	return val0
+}
+
+// assignment is a partial assignment of node output values with a trail for
+// checkpoint/undo, and per-node update stamps for the latestUpdated rule of
+// Algorithm 1.
+type assignment struct {
+	vals    []value
+	stamp   []int64
+	trail   []network.NodeID
+	counter int64
+}
+
+func newAssignment(numNodes int) *assignment {
+	a := &assignment{
+		vals:  make([]value, numNodes),
+		stamp: make([]int64, numNodes),
+	}
+	for i := range a.vals {
+		a.vals[i] = unassigned
+	}
+	return a
+}
+
+// get returns the node's value and whether it is assigned.
+func (a *assignment) get(id network.NodeID) (bool, bool) {
+	v := a.vals[id]
+	return v == val1, v != unassigned
+}
+
+// assigned reports whether the node has a value.
+func (a *assignment) assigned(id network.NodeID) bool { return a.vals[id] != unassigned }
+
+// set assigns a value, recording it on the trail. The caller must have
+// checked the node is unassigned or equal.
+func (a *assignment) set(id network.NodeID, v bool) {
+	if a.vals[id] != unassigned {
+		if a.vals[id] != boolValue(v) {
+			panic("core: conflicting set; callers must check first")
+		}
+		return
+	}
+	a.vals[id] = boolValue(v)
+	a.counter++
+	a.stamp[id] = a.counter
+	a.trail = append(a.trail, id)
+}
+
+// mark returns a checkpoint for undoTo.
+func (a *assignment) mark() int { return len(a.trail) }
+
+// undoTo unassigns everything set after the checkpoint.
+func (a *assignment) undoTo(mark int) {
+	for i := len(a.trail) - 1; i >= mark; i-- {
+		id := a.trail[i]
+		a.vals[id] = unassigned
+		a.stamp[id] = 0
+	}
+	a.trail = a.trail[:mark]
+}
+
+// reset clears the whole assignment.
+func (a *assignment) reset() { a.undoTo(0) }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"simgen/internal/network"
+)
+
+// ImplicationStrategy selects how aggressively SimGen implies values.
+type ImplicationStrategy int
+
+const (
+	// ImplSimple applies Definition 2.2: a node's values are propagated
+	// only when exactly one truth-table row is consistent with the current
+	// assignment.
+	ImplSimple ImplicationStrategy = iota
+	// ImplAdvanced additionally applies Definition 4.1: when several rows
+	// are consistent but agree on the output and/or on some inputs, the
+	// agreed values are propagated.
+	ImplAdvanced
+)
+
+func (s ImplicationStrategy) String() string {
+	if s == ImplAdvanced {
+		return "AI"
+	}
+	return "SI"
+}
+
+// engine is the shared propagation machinery of SimGen and the reverse
+// simulation baseline.
+type engine struct {
+	net  *network.Network
+	rows *rowCache
+	vals *assignment
+
+	queue  []network.NodeID
+	queued []bool
+}
+
+func newEngine(net *network.Network) *engine {
+	return &engine{
+		net:    net,
+		rows:   newRowCache(net),
+		vals:   newAssignment(net.NumNodes()),
+		queued: make([]bool, net.NumNodes()),
+	}
+}
+
+func (e *engine) enqueue(id network.NodeID) {
+	if !e.queued[id] {
+		e.queued[id] = true
+		e.queue = append(e.queue, id)
+	}
+}
+
+// assignAndWake sets a node value and schedules every node whose row
+// matching could change: the node itself (its inputs may now be implied
+// backward) and its fanouts (their input values changed).
+func (e *engine) assignAndWake(id network.NodeID, v bool) {
+	e.vals.set(id, v)
+	e.enqueue(id)
+	for _, fo := range e.net.Fanouts(id) {
+		e.enqueue(fo)
+	}
+}
+
+// propagate runs implications to fixpoint starting from the queued nodes.
+// It returns false on conflict (a node whose assignment matches no row).
+// Implications flow both backward (output to inputs) and forward (inputs
+// to output), independently of node levels, per Definition 2.2.
+func (e *engine) propagate(strategy ImplicationStrategy) bool {
+	for len(e.queue) > 0 {
+		id := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.queued[id] = false
+
+		nd := e.net.Node(id)
+		if nd.Kind == network.KindPI {
+			continue
+		}
+		st := nodeStateOf(e.net, e.vals, id)
+		rs := e.rows.of(id)
+
+		// Collect consistent rows.
+		var first, second *row
+		count := 0
+		for i := range rs.rows {
+			if rs.rows[i].consistent(st) {
+				count++
+				if first == nil {
+					first = &rs.rows[i]
+				} else if second == nil {
+					second = &rs.rows[i]
+				}
+			}
+		}
+		if count == 0 {
+			e.clearQueue()
+			return false
+		}
+		if count == 1 {
+			// Simple implication: the single row's values are forced.
+			e.applyRow(id, nd.Fanins, *first, st)
+			continue
+		}
+		if strategy == ImplAdvanced {
+			e.applyAgreement(id, nd.Fanins, rs, st)
+		}
+	}
+	return true
+}
+
+// applyRow assigns the row's output and every cared input that is not yet
+// assigned. Consistency was already checked.
+func (e *engine) applyRow(id network.NodeID, fanins []network.NodeID, r row, st nodeState) {
+	if st.out == unassigned {
+		e.assignAndWake(id, r.out)
+	}
+	for i, f := range fanins {
+		v, cared := r.cube.Has(i)
+		if !cared {
+			continue
+		}
+		if st.inMask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if e.vals.assigned(f) {
+			// A duplicate fanin position may have been assigned by an
+			// earlier position of this same row application.
+			continue
+		}
+		e.assignAndWake(f, v)
+	}
+}
+
+// applyAgreement implements advanced implication (Definition 4.1): values
+// on which all consistent rows agree are propagated; positions where rows
+// differ — including a don't-care versus a value — remain unassigned.
+func (e *engine) applyAgreement(id network.NodeID, fanins []network.NodeID, rs *rowSet, st nodeState) {
+	// Fast path: with no inputs assigned, the consistent rows are exactly
+	// one polarity cover (or all rows), whose agreements are precomputed.
+	if st.inMask == 0 {
+		switch st.out {
+		case val1:
+			e.applyStaticAgreement(fanins, rs.onAgreeMask, rs.onAgreeVal)
+			return
+		case val0:
+			e.applyStaticAgreement(fanins, rs.offAgreeMask, rs.offAgreeVal)
+			return
+		default:
+			// Output unassigned: with both polarities present nothing can
+			// be implied (the rows disagree on the output, and an input
+			// agreement would require agreement across both covers, which
+			// the general path below computes only when inputs constrain
+			// the row set — here they don't, so intersect the two masks).
+			if rs.hasOn && rs.hasOff {
+				m := rs.onAgreeMask & rs.offAgreeMask
+				m &^= rs.onAgreeVal ^ rs.offAgreeVal
+				e.applyStaticAgreement(fanins, m, rs.onAgreeVal&m)
+				return
+			}
+		}
+	}
+	narity := len(fanins)
+	outAgree := true
+	var outVal bool
+	// inAgree[i]: all rows care about input i with the same value.
+	agreeMask := uint32(1)<<uint(narity) - 1
+	var agreeVal uint32
+	firstRow := true
+	for i := range rs.rows {
+		r := &rs.rows[i]
+		if !r.consistent(st) {
+			continue
+		}
+		if firstRow {
+			outVal = r.out
+			agreeMask &= r.cube.Mask
+			agreeVal = r.cube.Val
+			firstRow = false
+			continue
+		}
+		if r.out != outVal {
+			outAgree = false
+		}
+		agreeMask &= r.cube.Mask
+		agreeMask &^= agreeVal ^ r.cube.Val
+		agreeVal &= agreeMask
+	}
+	if outAgree && st.out == unassigned {
+		e.assignAndWake(id, outVal)
+	}
+	newMask := agreeMask &^ st.inMask
+	if newMask == 0 {
+		return
+	}
+	for i, f := range fanins {
+		bit := uint32(1) << uint(i)
+		if newMask&bit == 0 || e.vals.assigned(f) {
+			continue
+		}
+		e.assignAndWake(f, agreeVal&bit != 0)
+	}
+}
+
+// applyStaticAgreement assigns the agreed input values of a precomputed
+// agreement mask.
+func (e *engine) applyStaticAgreement(fanins []network.NodeID, mask, val uint32) {
+	if mask == 0 {
+		return
+	}
+	for i, f := range fanins {
+		bit := uint32(1) << uint(i)
+		if mask&bit == 0 || e.vals.assigned(f) {
+			continue
+		}
+		e.assignAndWake(f, val&bit != 0)
+	}
+}
+
+func (e *engine) clearQueue() {
+	for _, id := range e.queue {
+		e.queued[id] = false
+	}
+	e.queue = e.queue[:0]
+}

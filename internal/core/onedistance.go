@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+
+	"simgen/internal/network"
+	"simgen/internal/sim"
+)
+
+// OneDistance implements the 1-distance simulation vectors of Mishchenko et
+// al. (ICCAD'06), cited in the paper's related work: starting from a pool
+// of interesting base vectors (previous counterexamples or random seeds),
+// each generated vector flips exactly one input bit of a base vector. The
+// paper's criticism — "the effectiveness of the flipping is difficult to
+// control and predict" — is observable by comparing it against SimGen in
+// the ablation benchmarks.
+type OneDistance struct {
+	net  *network.Network
+	rng  *rand.Rand
+	pool [][]bool
+	// PoolCap bounds the base-vector pool.
+	PoolCap int
+}
+
+// NewOneDistance returns a 1-distance vector source seeded with nseed
+// random base vectors.
+func NewOneDistance(net *network.Network, seed int64, nseed int) *OneDistance {
+	o := &OneDistance{
+		net:     net,
+		rng:     rand.New(rand.NewSource(seed)),
+		PoolCap: 256,
+	}
+	if nseed < 1 {
+		nseed = 8
+	}
+	for i := 0; i < nseed; i++ {
+		v := make([]bool, net.NumPIs())
+		for j := range v {
+			v[j] = o.rng.Intn(2) == 1
+		}
+		o.pool = append(o.pool, v)
+	}
+	return o
+}
+
+// Name implements VectorSource.
+func (o *OneDistance) Name() string { return "1-distance" }
+
+// AddBase contributes a base vector (e.g. a SAT counterexample) to flip
+// around.
+func (o *OneDistance) AddBase(vec []bool) {
+	v := append([]bool(nil), vec...)
+	if len(o.pool) >= o.PoolCap {
+		o.pool[o.rng.Intn(len(o.pool))] = v
+		return
+	}
+	o.pool = append(o.pool, v)
+}
+
+// NextBatch emits max vectors, each a base vector with one flipped bit;
+// the classes are not consulted (the technique is class-oblivious, which is
+// exactly its weakness relative to SimGen).
+func (o *OneDistance) NextBatch(_ *sim.Classes, max int) [][]bool {
+	if o.net.NumPIs() == 0 {
+		return nil
+	}
+	out := make([][]bool, max)
+	for i := range out {
+		base := o.pool[o.rng.Intn(len(o.pool))]
+		v := append([]bool(nil), base...)
+		flip := o.rng.Intn(len(v))
+		v[flip] = !v[flip]
+		out[i] = v
+	}
+	return out
+}

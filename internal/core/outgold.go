@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"simgen/internal/network"
+)
+
+// OutGoldPolicy selects how OUTgold values are distributed over the
+// members of a class. The paper uses the alternating policy and notes that
+// "other strategies could be explored (e.g., circuit topology-aware methods
+// or runtime-adaptive OUTgold generation) and effortlessly integrated";
+// these are those strategies.
+type OutGoldPolicy int
+
+const (
+	// GoldAlternate alternates 0/1 in node-ID order (the paper's policy).
+	GoldAlternate OutGoldPolicy = iota
+	// GoldTopology alternates 0/1 in *level* order, so nodes at adjacent
+	// depths are pushed apart; deep targets (processed first) receive the
+	// same polarity as their depth-neighbours, reducing intra-vector
+	// conflicts on chain-structured classes.
+	GoldTopology
+	// GoldAdaptive tracks per-class conflict history: the polarity phase
+	// flips whenever the previous attempt for the class failed to honor a
+	// majority of its targets.
+	GoldAdaptive
+)
+
+func (p OutGoldPolicy) String() string {
+	switch p {
+	case GoldTopology:
+		return "topology"
+	case GoldAdaptive:
+		return "adaptive"
+	default:
+		return "alternate"
+	}
+}
+
+// goldState carries the runtime memory of the adaptive policy.
+type goldState struct {
+	// phase per class signature (first member's ID is a stable-enough key
+	// because refinement keeps the smallest member in place).
+	phase map[network.NodeID]bool
+}
+
+func newGoldState() *goldState {
+	return &goldState{phase: make(map[network.NodeID]bool)}
+}
+
+// assignGold computes target order and OUTgold values for one class under
+// the given policy. The returned slice parallels targets.
+func (g *Generator) assignGold(members []network.NodeID, phase bool) (targets []network.NodeID, gold []bool) {
+	switch g.GoldPolicy {
+	case GoldTopology:
+		targets = append([]network.NodeID(nil), members...)
+		sort.Slice(targets, func(i, j int) bool {
+			li, lj := g.net.Level(targets[i]), g.net.Level(targets[j])
+			if li != lj {
+				return li < lj
+			}
+			return targets[i] < targets[j]
+		})
+		gold = make([]bool, len(targets))
+		for i := range gold {
+			gold[i] = (i%2 == 1) != phase
+		}
+		return targets, gold
+	case GoldAdaptive:
+		key := minNode(members)
+		adaptivePhase := g.goldState.phase[key] != phase
+		return OutGoldPhase(members, adaptivePhase)
+	default:
+		return OutGoldPhase(members, phase)
+	}
+}
+
+// recordGoldOutcome informs the adaptive policy how a class attempt went.
+func (g *Generator) recordGoldOutcome(members []network.NodeID, honored []bool) {
+	if g.GoldPolicy != GoldAdaptive {
+		return
+	}
+	ok := 0
+	for _, h := range honored {
+		if h {
+			ok++
+		}
+	}
+	if ok*2 < len(honored) {
+		key := minNode(members)
+		g.goldState.phase[key] = !g.goldState.phase[key]
+	}
+}
+
+func minNode(members []network.NodeID) network.NodeID {
+	m := members[0]
+	for _, x := range members[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math/rand"
+
+	"simgen/internal/network"
+	"simgen/internal/sim"
+)
+
+// Random is the random-simulation baseline (RandS): uniformly random input
+// vectors, oblivious to the equivalence classes.
+type Random struct {
+	net *network.Network
+	rng *rand.Rand
+}
+
+// NewRandom returns a random vector source for the network.
+func NewRandom(net *network.Network, seed int64) *Random {
+	return &Random{net: net, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements VectorSource.
+func (r *Random) Name() string { return "RandS" }
+
+// NextBatch draws max uniformly random vectors; the classes are ignored.
+func (r *Random) NextBatch(_ *sim.Classes, max int) [][]bool {
+	out := make([][]bool, max)
+	for i := range out {
+		vec := make([]bool, r.net.NumPIs())
+		for j := range vec {
+			vec[j] = r.rng.Intn(2) == 1
+		}
+		out[i] = vec
+	}
+	return out
+}

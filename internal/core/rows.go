@@ -1,0 +1,151 @@
+package core
+
+import (
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// row is one truth-table row of a node with don't-cares: a cube over the
+// node's fanins plus the output value the cube produces — the unit of
+// propagation for implication and decision.
+type row struct {
+	cube tt.Cube
+	out  bool
+}
+
+// rowSet holds the combined on-/off-set rows of one node, plus precomputed
+// "static" agreements: the input positions on which all rows of one output
+// polarity agree. They answer the most frequent advanced-implication query
+// — a node whose output was just assigned and whose inputs are all free —
+// without scanning the rows.
+type rowSet struct {
+	rows []row
+
+	// onAgree/offAgree: agreement across the rows of that polarity.
+	onAgreeMask, onAgreeVal   uint32
+	offAgreeMask, offAgreeVal uint32
+	hasOn, hasOff             bool
+}
+
+// computeStaticAgreements fills the per-polarity agreement masks.
+func (rs *rowSet) computeStaticAgreements(arity int) {
+	full := uint32(1)<<uint(arity) - 1
+	onMask, offMask := full, full
+	var onVal, offVal uint32
+	for _, r := range rs.rows {
+		if r.out {
+			if !rs.hasOn {
+				rs.hasOn = true
+				onMask &= r.cube.Mask
+				onVal = r.cube.Val
+			} else {
+				onMask &= r.cube.Mask
+				onMask &^= onVal ^ r.cube.Val
+			}
+			onVal &= onMask
+		} else {
+			if !rs.hasOff {
+				rs.hasOff = true
+				offMask &= r.cube.Mask
+				offVal = r.cube.Val
+			} else {
+				offMask &= r.cube.Mask
+				offMask &^= offVal ^ r.cube.Val
+			}
+			offVal &= offMask
+		}
+	}
+	if rs.hasOn {
+		rs.onAgreeMask, rs.onAgreeVal = onMask, onVal&onMask
+	}
+	if rs.hasOff {
+		rs.offAgreeMask, rs.offAgreeVal = offMask, offVal&offMask
+	}
+}
+
+// rowCache lazily builds rowSets per node.
+type rowCache struct {
+	net  *network.Network
+	sets []*rowSet
+}
+
+func newRowCache(net *network.Network) *rowCache {
+	return &rowCache{net: net, sets: make([]*rowSet, net.NumNodes())}
+}
+
+func (rc *rowCache) of(id network.NodeID) *rowSet {
+	if rs := rc.sets[id]; rs != nil {
+		return rs
+	}
+	nd := rc.net.Node(id)
+	rs := &rowSet{}
+	switch nd.Kind {
+	case network.KindPI:
+		// PIs have no rows: their value is free.
+	case network.KindConst:
+		rs.rows = []row{{out: nd.Func.IsConst1()}}
+	default:
+		on, off := rc.net.Covers(id)
+		rs.rows = make([]row, 0, len(on)+len(off))
+		for _, c := range on {
+			rs.rows = append(rs.rows, row{cube: c, out: true})
+		}
+		for _, c := range off {
+			rs.rows = append(rs.rows, row{cube: c, out: false})
+		}
+		rs.computeStaticAgreements(len(nd.Fanins))
+	}
+	rc.sets[id] = rs
+	return rs
+}
+
+// nodeState captures the node's currently assigned fanin values as cube
+// masks plus the output value, for row matching.
+type nodeState struct {
+	inMask, inVal uint32
+	out           value
+}
+
+// state reads the node's surrounding assignment.
+func nodeStateOf(net *network.Network, a *assignment, id network.NodeID) nodeState {
+	var st nodeState
+	st.out = a.vals[id]
+	for i, f := range net.Node(id).Fanins {
+		if v, ok := a.get(f); ok {
+			st.inMask |= 1 << uint(i)
+			if v {
+				st.inVal |= 1 << uint(i)
+			}
+		}
+	}
+	return st
+}
+
+// consistent reports whether the row matches the node state: the cube does
+// not contradict assigned inputs and the output polarity matches an
+// assigned output.
+func (r row) consistent(st nodeState) bool {
+	if st.out != unassigned && boolValue(r.out) != st.out {
+		return false
+	}
+	return r.cube.ConsistentWith(st.inMask, st.inVal)
+}
+
+// assignsNew reports whether applying the row would set at least one
+// currently unassigned input.
+func (r row) assignsNew(st nodeState) bool {
+	return r.cube.Mask&^st.inMask != 0
+}
+
+// justified reports whether some consistent row is fully assigned: the
+// node's output value is then guaranteed under any completion of the
+// remaining unassigned inputs, so no further decision is needed here.
+func (rs *rowSet) justified(st nodeState) bool {
+	for i := range rs.rows {
+		r := &rs.rows[i]
+		if r.consistent(st) && r.cube.Mask&^st.inMask == 0 {
+			return true
+		}
+	}
+	return false
+}

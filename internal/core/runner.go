@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"simgen/internal/network"
+	"simgen/internal/sim"
+)
+
+// VectorSource produces batches of input vectors intended to split the
+// given candidate equivalence classes. SimGen, reverse simulation and
+// random simulation all implement it.
+type VectorSource interface {
+	Name() string
+	// NextBatch returns up to max vectors; an empty result means the
+	// source found nothing useful for the current classes.
+	NextBatch(classes *sim.Classes, max int) [][]bool
+}
+
+// IterationStat records one simulation iteration of a Runner.
+type IterationStat struct {
+	Iteration int
+	Cost      int           // Eq. (5) after the iteration
+	Vectors   int           // vectors simulated this iteration
+	Elapsed   time.Duration // cumulative simulation+generation time
+}
+
+// Runner drives the simulation portion of a sweeping flow (Fig. 2): an
+// initial random round partitions the nodes into classes, then a vector
+// source iteratively refines them.
+type Runner struct {
+	Net     *network.Network
+	Classes *sim.Classes
+
+	// BatchSize is the number of vectors per iteration (a 64-bit machine
+	// word's worth by default, matching bit-parallel simulation).
+	BatchSize int
+
+	elapsed time.Duration
+}
+
+// NewRunner creates a runner and performs the initial random-simulation
+// round (randRounds words of 64 random vectors each) that seeds the
+// equivalence classes.
+func NewRunner(net *network.Network, randRounds int, seed int64) *Runner {
+	if randRounds < 1 {
+		randRounds = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	inputs := sim.RandomInputs(net, randRounds, rng)
+	vals := sim.Simulate(net, inputs, randRounds)
+	r := &Runner{
+		Net:       net,
+		Classes:   sim.NewClasses(net, vals),
+		BatchSize: 64,
+	}
+	r.elapsed = time.Since(start)
+	return r
+}
+
+// Elapsed returns the cumulative generation+simulation time.
+func (r *Runner) Elapsed() time.Duration { return r.elapsed }
+
+// Step runs one iteration with the source: generate a batch, simulate it,
+// refine the classes. It reports the resulting statistics.
+func (r *Runner) Step(src VectorSource, iteration int) IterationStat {
+	start := time.Now()
+	vectors := src.NextBatch(r.Classes, r.BatchSize)
+	if len(vectors) > 0 {
+		inputs, nwords := sim.PackVectors(r.Net, vectors)
+		vals := sim.Simulate(r.Net, inputs, nwords)
+		r.Classes.Refine(vals)
+	}
+	r.elapsed += time.Since(start)
+	return IterationStat{
+		Iteration: iteration,
+		Cost:      r.Classes.Cost(),
+		Vectors:   len(vectors),
+		Elapsed:   r.elapsed,
+	}
+}
+
+// Run performs n iterations and returns the per-iteration statistics.
+func (r *Runner) Run(src VectorSource, n int) []IterationStat {
+	stats := make([]IterationStat, 0, n)
+	for i := 0; i < n; i++ {
+		stats = append(stats, r.Step(src, i))
+	}
+	return stats
+}

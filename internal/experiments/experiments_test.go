@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment tests fast: a handful of small benchmarks and
+// few iterations.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Benchmarks = []string{"alu4", "misex3c", "ex5p", "apex2", "pdc", "spla", "ex1010", "priority"}
+	cfg.GuidedIterations = 12
+	return cfg
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 5 || res.Methods[0] != "RevS" || res.Methods[4] != "SimGen" {
+		t.Fatalf("methods wrong: %v", res.Methods)
+	}
+	// RevS normalizes to exactly 1.0.
+	if res.Cost[0] != 1.0 || res.SimRuntime[0] != 1.0 {
+		t.Fatalf("RevS not normalized to 1: cost=%v time=%v", res.Cost[0], res.SimRuntime[0])
+	}
+	// The headline claim: SimGen's cost beats RevS on average. On this
+	// reduced subset allow a little noise; the full-suite reproduction in
+	// EXPERIMENTS.md shows the real margin.
+	if res.Cost[4] > res.Cost[0]+0.05 {
+		t.Fatalf("SimGen average cost %.3f clearly worse than RevS", res.Cost[4])
+	}
+	for _, name := range quickCfg().Benchmarks {
+		if len(res.PerBench[name]) != 5 {
+			t.Fatalf("per-bench detail missing for %s", name)
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Cost") || !strings.Contains(out, "SimGen") {
+		t.Fatalf("format output malformed:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Benchmarks = []string{"alu4", "misex3c"}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CallsRevS == 0 && r.CallsSGen == 0 {
+			t.Errorf("%s: no SAT calls at all — benchmark has no candidate classes", r.Bench)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "alu4") {
+		t.Fatalf("format missing benchmark:\n%s", out)
+	}
+}
+
+func TestTable2Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled benchmarks are slow")
+	}
+	cfg := quickCfg()
+	rows, err := Table2Scaled(cfg, []ScaledBenchmark{{"alu4", 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Copies != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "alu4 (3)") {
+		t.Fatalf("scaled formatting wrong:\n%s", out)
+	}
+}
+
+func TestFigureRows(t *testing.T) {
+	rows := []Table2Row{
+		{Bench: "x", CostRevS: 100, CostSGen: 80, CallsRevS: 10, CallsSGen: 5,
+			TimeRevS: 100, TimeSGen: 50, SimRevS: 10, SimSGen: 12},
+	}
+	fr := FigureRows(rows)
+	if fr[0].DCost != -0.2 {
+		t.Fatalf("Δcost = %v, want -0.2", fr[0].DCost)
+	}
+	if fr[0].DCalls != -0.5 || fr[0].DSATTime != -0.5 {
+		t.Fatal("Δcalls/Δsattime wrong")
+	}
+	if fr[0].DSimTime <= 0 {
+		t.Fatal("Δsimtime should be positive here")
+	}
+	out := FormatFigure(fr)
+	if !strings.Contains(out, "-20.0%") {
+		t.Fatalf("figure formatting wrong:\n%s", out)
+	}
+	// Zero base never divides by zero.
+	if normDiff(5, 0) != 0 {
+		t.Fatal("normDiff(.,0) must be 0")
+	}
+}
+
+func TestFigure7Trajectories(t *testing.T) {
+	cfg := quickCfg()
+	trs, err := Figure7("apex2", 12, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 3 {
+		t.Fatalf("%d trajectories", len(trs))
+	}
+	for _, tr := range trs {
+		if len(tr.Points) != 12 {
+			t.Fatalf("%s: %d points", tr.Scheme, len(tr.Points))
+		}
+		// Cost must be non-increasing.
+		for i := 1; i < len(tr.Points); i++ {
+			if tr.Points[i].Cost > tr.Points[i-1].Cost {
+				t.Fatalf("%s: cost increased at iteration %d", tr.Scheme, i)
+			}
+			if tr.Points[i].Elapsed < tr.Points[i-1].Elapsed {
+				t.Fatalf("%s: elapsed went backwards", tr.Scheme)
+			}
+		}
+	}
+	if trs[0].Scheme != "RandS" || trs[0].SwitchAt != -1 {
+		t.Fatal("pure random scheme must never switch")
+	}
+	// Guided schemes must be at least as good as pure random in the end.
+	if trs[2].FinalCost > trs[0].FinalCost {
+		t.Fatalf("SimGen final cost %d worse than random %d", trs[2].FinalCost, trs[0].FinalCost)
+	}
+	out := FormatFigure7("apex2", trs)
+	if !strings.Contains(out, "RandS+SimGen") {
+		t.Fatalf("figure 7 formatting wrong:\n%s", out)
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Benchmarks = []string{"doesnotexist"}
+	if _, err := Table1(cfg); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Table2(cfg); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Figure7("doesnotexist", 3, 3, cfg); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Benchmarks = []string{"apex2", "pdc"}
+	res, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != 8 || res.Sources[0] != "RevS" {
+		t.Fatalf("sources: %v", res.Sources)
+	}
+	if res.NormCost[0] != 1.0 {
+		t.Fatal("RevS not normalized")
+	}
+	// SAT-vectors always split what they target: cost must be no worse
+	// than random simulation.
+	idx := map[string]int{}
+	for i, s := range res.Sources {
+		idx[s] = i
+	}
+	if res.NormCost[idx["SAT-vectors"]] > res.NormCost[idx["RandS"]]+0.10 {
+		t.Fatalf("SAT-vectors (%v) much worse than RandS (%v)",
+			res.NormCost[idx["SAT-vectors"]], res.NormCost[idx["RandS"]])
+	}
+	// Per-bench rows recorded, including the SAT call count.
+	rows := res.PerBench["apex2"]
+	if len(rows) != 8 {
+		t.Fatal("per-bench rows missing")
+	}
+	if rows[idx["SAT-vectors"]].SATCalls == 0 {
+		t.Fatal("SAT-vector calls not counted")
+	}
+	if !strings.Contains(res.Format(), "SimGen/topo") {
+		t.Fatal("format incomplete")
+	}
+}

@@ -1,0 +1,588 @@
+package genbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simgen/internal/aig"
+)
+
+// sopBench builds a two-level (PLA-like) circuit in the spirit of the MCNC
+// control benchmarks: npos outputs, each an OR of product terms drawn from
+// a shared pool. Sharing the pool creates reconvergence; `dup` outputs are
+// additionally re-implemented as balanced OR trees over the same terms,
+// planting genuine node equivalences that only SAT can prove.
+func sopBench(name string, npis, npos, pool, cubesPerPO, maxLits, dup int) func() *aig.Graph {
+	return func() *aig.Graph {
+		rng := rand.New(rand.NewSource(seedOf(name)))
+		g := aig.New(name)
+		inputs := make([]aig.Lit, npis)
+		for i := range inputs {
+			inputs[i] = g.AddPI(fmt.Sprintf("i%d", i))
+		}
+		terms := make([]aig.Lit, pool)
+		for i := range terms {
+			nlits := 2 + rng.Intn(maxLits-1)
+			// A quarter of the pool are deep cubes (8-14 literals): they
+			// almost never activate under random vectors, so their LUTs
+			// survive random simulation as candidate classes — the workload
+			// that makes guided pattern generation worthwhile.
+			if rng.Intn(4) == 0 {
+				nlits = 8 + rng.Intn(7)
+			}
+			if nlits > npis {
+				nlits = npis
+			}
+			terms[i] = randomCube(g, rng, inputs, nlits)
+		}
+		for o := 0; o < npos; o++ {
+			n := cubesPerPO/2 + rng.Intn(cubesPerPO)
+			chosen := make([]aig.Lit, 0, n)
+			for _, t := range rng.Perm(pool)[:min(n, pool)] {
+				chosen = append(chosen, terms[t])
+			}
+			out := g.OrN(chosen)
+			g.AddPO(fmt.Sprintf("o%d", o), out)
+			if o < dup {
+				g.AddPO(fmt.Sprintf("o%d_dup", o), orBalanced(g, chosen))
+			}
+		}
+		return g
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// aluCore builds a small ALU over two operand words and an opcode: add,
+// subtract, AND, OR, XOR, shift-left, compare. Used by alu4 and the ITC'99
+// style circuits.
+func aluCore(g *aig.Graph, a, b aig.Word, op []aig.Lit) aig.Word {
+	sum, _ := g.Add(a, b, aig.False)
+	diff, _ := g.Sub(a, b)
+	andW := g.AndWord(a, b)
+	orW := g.OrWord(a, b)
+	xorW := g.XorWord(a, b)
+	shl := aig.ShiftLeftConst(a, 1)
+	lt := g.LessThan(a, b)
+	ltW := make(aig.Word, len(a))
+	for i := range ltW {
+		if i == 0 {
+			ltW[i] = lt
+		} else {
+			ltW[i] = aig.False
+		}
+	}
+	eqW := make(aig.Word, len(a))
+	eq := g.EqualWord(a, b)
+	for i := range eqW {
+		if i == 0 {
+			eqW[i] = eq
+		} else {
+			eqW[i] = aig.False
+		}
+	}
+
+	r01 := g.MuxWord(op[0], diff, sum)
+	r23 := g.MuxWord(op[0], orW, andW)
+	r45 := g.MuxWord(op[0], shl, xorW)
+	r67 := g.MuxWord(op[0], eqW, ltW)
+	r0123 := g.MuxWord(op[1], r23, r01)
+	r4567 := g.MuxWord(op[1], r67, r45)
+	return g.MuxWord(op[2], r4567, r0123)
+}
+
+func buildALU4() *aig.Graph {
+	g := aig.New("alu4")
+	a := g.NewWordPIs("a", 8)
+	b := g.NewWordPIs("b", 8)
+	op := []aig.Lit{g.AddPI("op0"), g.AddPI("op1"), g.AddPI("op2")}
+	r := aluCore(g, a, b, op)
+	g.AddPOWord("r", r)
+	// Duplicate the adder through a structurally different carry chain
+	// (generate/propagate form) so sweeping finds provable equivalences.
+	sum2 := gpAdder(g, a, b, aig.False)
+	g.AddPOWord("s", sum2)
+	// Near-constant compares: survive random simulation into sweeping.
+	g.AddPO("eq", g.EqualWord(a, b))
+	g.AddPO("magic", g.EqualWord(r, aig.ConstWord(8, 0x5A)))
+	return g
+}
+
+// gpAdder is a generate/propagate formulation of addition with carry-in —
+// functionally the ripple adder, structurally distinct.
+func gpAdder(g *aig.Graph, a, b aig.Word, cin aig.Lit) aig.Word {
+	w := len(a)
+	gen := make([]aig.Lit, w)
+	prop := make([]aig.Lit, w)
+	for i := 0; i < w; i++ {
+		gen[i] = g.And(a[i], b[i])
+		prop[i] = g.Xor(a[i], b[i])
+	}
+	sum := make(aig.Word, w)
+	carry := cin
+	for i := 0; i < w; i++ {
+		sum[i] = g.Xor(prop[i], carry)
+		carry = g.Or(gen[i], g.And(prop[i], carry))
+	}
+	return sum
+}
+
+func buildSquare() *aig.Graph {
+	g := aig.New("square")
+	x := g.NewWordPIs("x", 10)
+	sq := g.Mul(x, x)
+	g.AddPOWord("sq", sq)
+	// Second multiplier with a generate/propagate accumulation chain:
+	// equivalent product bits, different structure.
+	g.AddPOWord("sq2", mulGP(g, x, x))
+	g.AddPO("isq", g.EqualWord(sq[:16], aig.ConstWord(16, 0x2B91)))
+	return g
+}
+
+// mulGP is an array multiplier whose partial-product accumulation uses the
+// generate/propagate adder instead of the ripple chain.
+func mulGP(g *aig.Graph, a, b aig.Word) aig.Word {
+	width := len(a) + len(b)
+	acc := aig.ConstWord(width, 0)
+	for i, bi := range b {
+		partial := aig.ConstWord(width, 0)
+		for j, aj := range a {
+			if i+j < width {
+				partial[i+j] = g.And(aj, bi)
+			}
+		}
+		acc = gpAdder(g, acc, partial, aig.False)
+	}
+	return acc
+}
+
+func buildSin() *aig.Graph {
+	// Fixed-point odd-polynomial approximation of sine: multiplier-heavy,
+	// matching the EPFL "sin" character.
+	g := aig.New("sin")
+	x := g.NewWordPIs("x", 8)
+	x2 := g.Mul(x, x)[:10]
+	x3 := g.Mul(x2, x)[:12]
+	// sin(x) ~ x - x^3/6: divide by 8 + by 32 approximation (1/6 ~ 5/32).
+	t1 := aig.ShiftRightConst(x3, 3)
+	t2 := aig.ShiftRightConst(x3, 5)
+	term, _ := g.Add(t1[:10], t2[:10], aig.False)
+	xw := append(append(aig.Word{}, x...), aig.ConstWord(2, 0)...)
+	res, _ := g.Sub(xw, term)
+	g.AddPOWord("sin", res)
+	// Equivalent subtraction through the generate/propagate chain.
+	g.AddPOWord("sin2", gpAdder(g, xw, g.NotWord(term), aig.True))
+	g.AddPO("zero", g.EqualWord(res, aig.ConstWord(10, 0)))
+	return g
+}
+
+func buildLog2() *aig.Graph {
+	// Integer log2 of a 16-bit input: priority encoder for the exponent
+	// plus a barrel shifter normalizing the mantissa.
+	g := aig.New("log2")
+	x := g.NewWordPIs("x", 16)
+	w := len(x)
+	// Exponent: index of the most significant set bit.
+	exp := aig.ConstWord(4, 0)
+	found := aig.False
+	for i := w - 1; i >= 0; i-- {
+		isFirst := g.And(x[i], found.Not())
+		exp = g.MuxWord(isFirst, aig.ConstWord(4, uint64(i)), exp)
+		found = g.Or(found, x[i])
+	}
+	// Mantissa: input shifted left so the MSB is aligned.
+	shAmt := make(aig.Word, 4)
+	for i := range shAmt {
+		shAmt[i] = exp[i].Not() // 15 - exp
+	}
+	mant := g.ShiftLeft(x, shAmt)
+	g.AddPOWord("exp", exp)
+	g.AddPO("valid", found)
+	g.AddPOWord("mant", mant[8:])
+	// Duplicate exponent via a balanced reduction for equivalences.
+	exp2 := aig.ConstWord(4, 0)
+	found2 := aig.False
+	for i := w - 1; i >= 0; i-- {
+		hit := g.And(x[i], found2.Not())
+		for b2 := 0; b2 < 4; b2++ {
+			if uint64(i)&(1<<uint(b2)) != 0 {
+				exp2[b2] = g.Or(exp2[b2], hit)
+			}
+		}
+		found2 = g.Or(x[i], found2)
+	}
+	g.AddPOWord("exp2", exp2)
+	return g
+}
+
+func buildCordic() *aig.Graph {
+	// CORDIC-style iterative rotation on 10-bit words: each iteration
+	// conditionally adds or subtracts a shifted copy.
+	g := aig.New("cordic")
+	x := g.NewWordPIs("x", 10)
+	y := g.NewWordPIs("y", 10)
+	z := g.NewWordPIs("z", 6)
+	for i := 0; i < 6; i++ {
+		dir := z[i]
+		xs := aig.ShiftRightConst(x, i)
+		ys := aig.ShiftRightConst(y, i)
+		xPlus, _ := g.Add(x, ys, aig.False)
+		xMinus, _ := g.Sub(x, ys)
+		yPlus, _ := g.Add(y, xs, aig.False)
+		yMinus, _ := g.Sub(y, xs)
+		x = g.MuxWord(dir, xMinus, xPlus)
+		y = g.MuxWord(dir, yPlus, yMinus)
+	}
+	g.AddPOWord("xo", x)
+	g.AddPOWord("yo", y)
+	return g
+}
+
+func buildVoter() *aig.Graph {
+	// Majority of 15 inputs, implemented twice: a popcount adder tree with
+	// comparison, and a recursive median network. The two roots are
+	// provably equivalent.
+	g := aig.New("voter")
+	in := make([]aig.Lit, 31)
+	for i := range in {
+		in[i] = g.AddPI(fmt.Sprintf("v%d", i))
+	}
+	// Popcount via adder tree.
+	words := make([]aig.Word, len(in))
+	for i, l := range in {
+		words[i] = aig.Word{l, aig.False, aig.False, aig.False, aig.False}
+	}
+	for len(words) > 1 {
+		var next []aig.Word
+		for i := 0; i+1 < len(words); i += 2 {
+			s, _ := g.Add(words[i], words[i+1], aig.False)
+			next = append(next, s)
+		}
+		if len(words)%2 == 1 {
+			next = append(next, words[len(words)-1])
+		}
+		words = next
+	}
+	maj1 := g.LessThan(aig.ConstWord(5, 15), words[0])
+	// Equivalent threshold with the comparison formulated the other way,
+	// plus a popcount duplicate accumulated via generate/propagate adders.
+	maj1b := g.LessThan(words[0], aig.ConstWord(5, 16)).Not()
+	g.AddPO("maj_alt", maj1b)
+	g.AddPO("all", g.EqualWord(words[0], aig.ConstWord(5, 31)))
+	count2 := aig.ConstWord(5, 0)
+	for _, l := range in {
+		bit := aig.Word{l, aig.False, aig.False, aig.False, aig.False}
+		count2 = gpAdder(g, count2, bit, aig.False)
+	}
+	g.AddPOWord("cnt", words[0])
+	g.AddPOWord("cnt2", count2)
+	// Median network: majority of three majorities of five.
+	maj5 := func(ls []aig.Lit) aig.Lit {
+		// Majority of 5 = OR over all 3-subsets' ANDs.
+		var terms []aig.Lit
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				for k := j + 1; k < 5; k++ {
+					terms = append(terms, g.And(g.And(ls[i], ls[j]), ls[k]))
+				}
+			}
+		}
+		return orBalanced(g, terms)
+	}
+	m1 := maj5(in[0:5])
+	m2 := maj5(in[5:10])
+	m3 := maj5(in[10:15])
+	_ = in[15:]
+	maj2 := g.Maj(m1, m2, m3)
+	g.AddPO("maj", maj1)
+	g.AddPO("maj_net", maj2) // approximation of majority: kept as workload
+	return g
+}
+
+func buildDec() *aig.Graph {
+	// 7-to-128 decoder: every output is a distinct full minterm.
+	g := aig.New("dec")
+	sel := make([]aig.Lit, 7)
+	for i := range sel {
+		sel[i] = g.AddPI(fmt.Sprintf("s%d", i))
+	}
+	for v := 0; v < 128; v++ {
+		term := aig.True
+		for b := 0; b < 7; b++ {
+			term = g.And(term, sel[b].NotIf(v&(1<<uint(b)) == 0))
+		}
+		g.AddPO(fmt.Sprintf("d%d", v), term)
+	}
+	return g
+}
+
+func buildArbiter() *aig.Graph {
+	// Priority arbiter over 32 requests: grant[i] = req[i] & none before.
+	// The "none before" chain is built twice (linear and balanced).
+	g := aig.New("arbiter")
+	req := make([]aig.Lit, 32)
+	for i := range req {
+		req[i] = g.AddPI(fmt.Sprintf("r%d", i))
+	}
+	noneBefore := aig.True
+	for i := 0; i < 32; i++ {
+		g.AddPO(fmt.Sprintf("g%d", i), g.And(req[i], noneBefore))
+		noneBefore = g.And(noneBefore, req[i].Not())
+	}
+	// Balanced duplicates of selected prefix terms.
+	for _, i := range []int{7, 15, 23, 31} {
+		inv := make([]aig.Lit, i+1)
+		for j := 0; j <= i; j++ {
+			inv[j] = req[j].Not()
+		}
+		g.AddPO(fmt.Sprintf("free%d", i), andBalanced(g, inv))
+	}
+	return g
+}
+
+func buildPriority() *aig.Graph {
+	// 64-to-6 priority encoder plus a valid flag.
+	g := aig.New("priority")
+	in := make([]aig.Lit, 64)
+	for i := range in {
+		in[i] = g.AddPI(fmt.Sprintf("p%d", i))
+	}
+	idx := aig.ConstWord(6, 0)
+	found := aig.False
+	for i := 63; i >= 0; i-- {
+		hit := g.And(in[i], found.Not())
+		idx = g.MuxWord(hit, aig.ConstWord(6, uint64(i)), idx)
+		found = g.Or(found, in[i])
+	}
+	g.AddPOWord("idx", idx)
+	g.AddPO("valid", found)
+	// Second valid implementation: balanced OR.
+	g.AddPO("valid2", orBalanced(g, in))
+	return g
+}
+
+func buildMemCtrl() *aig.Graph {
+	// Memory-controller-like control logic: bank decoding, address range
+	// compares, request arbitration and a refresh countdown — the largest
+	// control benchmark, mirroring mem_ctrl's role in the paper.
+	g := aig.New("m_ctrl")
+	rng := rand.New(rand.NewSource(seedOf("m_ctrl")))
+	addr := g.NewWordPIs("addr", 24)
+	cmd := g.NewWordPIs("cmd", 6)
+	req := make([]aig.Lit, 16)
+	for i := range req {
+		req[i] = g.AddPI(fmt.Sprintf("req%d", i))
+	}
+	count := g.NewWordPIs("cnt", 12)
+
+	// Bank select: decode addr[20:24].
+	bankSel := make([]aig.Lit, 16)
+	for b := 0; b < 16; b++ {
+		term := aig.True
+		for i := 0; i < 4; i++ {
+			term = g.And(term, addr[20+i].NotIf(b&(1<<uint(i)) == 0))
+		}
+		bankSel[b] = term
+	}
+	// Range compares against pseudo-random bounds: exact-match and window
+	// compares are near-constant under random vectors, which is what makes
+	// mem_ctrl the hardest sweeping workload in the paper.
+	var hits []aig.Lit
+	for r := 0; r < 16; r++ {
+		lo := aig.ConstWord(24, uint64(rng.Intn(1<<24)))
+		hi := aig.ConstWord(24, uint64(rng.Intn(1<<24)))
+		inRange := g.And(g.LessThan(lo, addr), g.LessThan(addr, hi))
+		hits = append(hits, inRange)
+		g.AddPO(fmt.Sprintf("hit%d", r), inRange)
+		// Exact tag match per region.
+		tag := aig.ConstWord(24, uint64(rng.Intn(1<<24)))
+		g.AddPO(fmt.Sprintf("tag%d", r), g.EqualWord(addr, tag))
+	}
+	// Arbitration per bank, twice (linear chain and per-bank recompute).
+	grantPrev := aig.True
+	var grants []aig.Lit
+	for b := 0; b < 16; b++ {
+		sel := g.And(req[b], bankSel[b])
+		grant := g.And(sel, grantPrev)
+		grantPrev = g.And(grantPrev, sel.Not())
+		grants = append(grants, grant)
+		g.AddPO(fmt.Sprintf("grant%d", b), grant)
+	}
+	// Structurally different duplicate of the last grant for sweeping.
+	var sels []aig.Lit
+	for b := 0; b < 16; b++ {
+		sels = append(sels, g.And(req[b], bankSel[b]))
+	}
+	inv := make([]aig.Lit, 15)
+	for b := 0; b < 15; b++ {
+		inv[b] = sels[b].Not()
+	}
+	g.AddPO("grant15_dup", g.And(sels[15], andBalanced(g, inv)))
+	// Refresh: counter compare plus command decode.
+	needRefresh := g.EqualWord(count, aig.ConstWord(12, 0xA5))
+	isRefreshCmd := g.And(g.And(cmd[0], cmd[1].Not()), g.And(g.And(cmd[2], cmd[3]), g.And(cmd[4].Not(), cmd[5])))
+	g.AddPO("refresh", g.Or(needRefresh, isRefreshCmd))
+	// Next counter value.
+	next, _ := g.Add(count, aig.ConstWord(12, 1), aig.False)
+	g.AddPOWord("cnt_n", g.MuxWord(needRefresh, aig.ConstWord(12, 0), next))
+	// Duplicated hit aggregation (linear vs balanced).
+	g.AddPO("anyhit", g.OrN(hits))
+	g.AddPO("anyhit2", orBalanced(g, hits))
+	return g
+}
+
+func buildE64() *aig.Graph {
+	// e64-like: 64 cascaded stages, each output depends on a running chain.
+	g := aig.New("e64")
+	in := make([]aig.Lit, 65)
+	for i := range in {
+		in[i] = g.AddPI(fmt.Sprintf("e%d", i))
+	}
+	chain := in[64]
+	for i := 0; i < 64; i++ {
+		chain = g.And(chain.Not(), in[i]).NotIf(i%2 == 0)
+		g.AddPO(fmt.Sprintf("o%d", i), chain)
+	}
+	// Wide-AND prefixes built linearly and balanced: provable equivalences
+	// whose cones almost never activate under random vectors.
+	for _, k := range []int{15, 31, 47, 63} {
+		g.AddPO(fmt.Sprintf("and%d", k), g.AndN(in[:k+1]))
+		g.AddPO(fmt.Sprintf("and%d_dup", k), andBalanced(g, in[:k+1]))
+	}
+	return g
+}
+
+func buildDes() *aig.Graph {
+	// DES-like: XOR key mixing followed by random 6->4 S-box lookups and a
+	// permutation, twice (two rounds).
+	g := aig.New("des")
+	rng := rand.New(rand.NewSource(seedOf("des")))
+	data := g.NewWordPIs("d", 48)
+	key := g.NewWordPIs("k", 48)
+	state := g.XorWord(data, key)
+	for round := 0; round < 2; round++ {
+		var next aig.Word
+		for s := 0; s < 8; s++ {
+			box := state[s*6 : s*6+6]
+			for o := 0; o < 4; o++ {
+				// Random 6-input function as S-box bit.
+				var minterms []aig.Lit
+				for m := 0; m < 64; m++ {
+					if rng.Intn(2) == 0 {
+						continue
+					}
+					term := aig.True
+					for b := 0; b < 6; b++ {
+						term = g.And(term, box[b].NotIf(m&(1<<uint(b)) == 0))
+					}
+					minterms = append(minterms, term)
+				}
+				next = append(next, orBalanced(g, minterms))
+			}
+		}
+		// Expand back to 48 by duplicating with permutation.
+		perm := rng.Perm(len(next))
+		for len(next) < 48 {
+			next = append(next, next[perm[len(next)-32]])
+		}
+		state = g.XorWord(next[:48], key)
+	}
+	g.AddPOWord("out", state[:32])
+	return g
+}
+
+// itcBench mimics the ITC'99 "_C" circuits: the combinational next-state
+// logic of a small processor-like design — ALU slice, comparators, mux
+// trees and decoders over state and input words.
+func itcBench(name string, wordW, blocks int) func() *aig.Graph {
+	return func() *aig.Graph {
+		rng := rand.New(rand.NewSource(seedOf(name)))
+		g := aig.New(name)
+		state := g.NewWordPIs("st", wordW*2)
+		data := g.NewWordPIs("in", wordW)
+		op := make([]aig.Lit, 3)
+		for i := range op {
+			op[i] = g.AddPI(fmt.Sprintf("op%d", i))
+		}
+		a := state[:wordW]
+		b := state[wordW:]
+		var lastR, lastD aig.Word
+		var lastC aig.Lit
+		for blk := 0; blk < blocks; blk++ {
+			r := aluCore(g, a, b, op)
+			cmp := g.LessThan(r, data)
+			sum, _ := g.Add(r, data, cmp)
+			lastR, lastD, lastC = r, data, cmp
+			// Random control: decode a few state bits, gate the result.
+			sel := aig.True
+			for k := 0; k < 3; k++ {
+				sel = g.And(sel, state[rng.Intn(len(state))].NotIf(rng.Intn(2) == 1))
+			}
+			nextA := g.MuxWord(sel, sum, r)
+			nextB := g.MuxWord(cmp, a, b)
+			a, b = nextA, nextB
+		}
+		g.AddPOWord("na", a)
+		g.AddPOWord("nb", b)
+		// Duplicate of the final adder through the generate/propagate
+		// formulation, plus near-constant equality flags.
+		g.AddPOWord("na2", gpAdder(g, lastR, lastD, lastC))
+		g.AddPO("halt", g.EqualWord(a, b))
+		return g
+	}
+}
+
+func init() {
+	// VTR / MCNC two-level and random-logic control benchmarks.
+	register("alu4", "VTR", buildALU4)
+	register("apex1", "VTR", sopBench("apex1", 45, 48, 300, 10, 6, 8))
+	register("apex2", "VTR", sopBench("apex2", 39, 6, 220, 24, 7, 2))
+	register("apex3", "VTR", sopBench("apex3", 54, 48, 300, 9, 6, 8))
+	register("apex4", "VTR", sopBench("apex4", 9, 38, 260, 14, 6, 6))
+	register("apex5", "VTR", sopBench("apex5", 64, 64, 220, 7, 5, 8))
+	register("cps", "VTR", sopBench("cps", 24, 80, 280, 9, 6, 8))
+	register("dalu", "VTR", sopBench("dalu", 40, 32, 180, 7, 5, 5))
+	register("des", "VTR", buildDes)
+	register("e64", "VTR", buildE64)
+	register("ex1010", "VTR", sopBench("ex1010", 10, 20, 400, 20, 7, 5))
+	register("ex5p", "VTR", sopBench("ex5p", 8, 56, 220, 11, 6, 6))
+	register("i10", "VTR", sopBench("i10", 40, 48, 260, 9, 6, 8))
+	register("k2", "VTR", sopBench("k2", 45, 40, 200, 8, 6, 5))
+	register("misex3", "VTR", sopBench("misex3", 14, 28, 280, 13, 7, 5))
+	register("misex3c", "VTR", sopBench("misex3c", 14, 28, 160, 8, 6, 3))
+	register("pdc", "VTR", sopBench("pdc", 16, 60, 440, 16, 7, 8))
+	register("seq", "VTR", sopBench("seq", 41, 48, 320, 11, 6, 8))
+	register("spla", "VTR", sopBench("spla", 16, 60, 400, 14, 7, 8))
+	register("table3", "VTR", sopBench("table3", 14, 28, 240, 11, 7, 5))
+	register("table5", "VTR", sopBench("table5", 17, 30, 240, 11, 7, 5))
+
+	// EPFL arithmetic and control benchmarks.
+	register("sin", "EPFL", buildSin)
+	register("square", "EPFL", buildSquare)
+	register("log2", "EPFL", buildLog2)
+	register("cordic", "EPFL", buildCordic)
+	register("voter", "EPFL", buildVoter)
+	register("dec", "EPFL", buildDec)
+	register("arbiter", "EPFL", buildArbiter)
+	register("priority", "EPFL", buildPriority)
+	register("m_ctrl", "EPFL", buildMemCtrl)
+
+	// ITC'99 combinational next-state circuits.
+	register("b14_C", "ITC99", itcBench("b14_C", 10, 3))
+	register("b14_C2", "ITC99", itcBench("b14_C2", 10, 3))
+	register("b15_C", "ITC99", itcBench("b15_C", 12, 4))
+	register("b15_C2", "ITC99", itcBench("b15_C2", 12, 4))
+	register("b17_C", "ITC99", itcBench("b17_C", 14, 5))
+	register("b17_C2", "ITC99", itcBench("b17_C2", 14, 5))
+	register("b20_C", "ITC99", itcBench("b20_C", 12, 5))
+	register("b20_C2", "ITC99", itcBench("b20_C2", 12, 5))
+	register("b21_C", "ITC99", itcBench("b21_C", 13, 5))
+	register("b21_C2", "ITC99", itcBench("b21_C2", 13, 5))
+	register("b22_C", "ITC99", itcBench("b22_C", 14, 6))
+	register("b22_C2", "ITC99", itcBench("b22_C2", 14, 6))
+}

@@ -1,0 +1,192 @@
+// Package genbench provides the benchmark suite for the experiments: 42
+// deterministic synthetic circuits named after the VTR, EPFL and ITC'99
+// benchmarks the SimGen paper evaluates on, plus the "&putontop" network
+// stacking operation used in the paper's scalability study.
+//
+// The original benchmark files are not redistributable here, so each
+// circuit is generated to match its namesake in *kind* (two-level PLA-like
+// control, word-level arithmetic, decoders/arbiters, unrolled sequential
+// control) and in approximate size class. What matters for reproducing the
+// paper's comparisons is that the circuits expose realistic candidate
+// equivalence classes: near-constant deep nodes that random simulation
+// cannot split, genuine duplicated cones that SAT proves equivalent, and
+// reconvergent sharing that makes reverse simulation conflict-prone. The
+// generators create all three by construction.
+package genbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"simgen/internal/aig"
+	"simgen/internal/mapper"
+	"simgen/internal/network"
+)
+
+// Benchmark is one named circuit generator.
+type Benchmark struct {
+	Name  string
+	Suite string // "VTR", "EPFL" or "ITC99"
+	Build func() *aig.Graph
+}
+
+// LUTNetwork generates the circuit and maps it into 6-input LUTs, the same
+// preprocessing ("if -K 6") the paper applies.
+func (b Benchmark) LUTNetwork() (*network.Network, error) {
+	return mapper.Map(b.Build(), mapper.DefaultOptions())
+}
+
+var registry []Benchmark
+
+func register(name, suite string, build func() *aig.Graph) {
+	registry = append(registry, Benchmark{Name: name, Suite: suite, Build: build})
+}
+
+// Registry returns all benchmarks in a stable order.
+func Registry() []Benchmark {
+	out := append([]Benchmark(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns the sorted benchmark names.
+func Names() []string {
+	bs := Registry()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// seedOf derives a deterministic seed from a benchmark name.
+func seedOf(name string) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// PutOnTop stacks copies of the circuit: the outputs of each copy drive the
+// inputs of the one above it, mirroring ABC's "&putontop". When a copy has
+// more outputs than the next needs, the excess become primary outputs; when
+// it has fewer, fresh primary inputs fill the gap.
+func PutOnTop(src *aig.Graph, copies int) *aig.Graph {
+	if copies < 1 {
+		panic("genbench: PutOnTop needs at least one copy")
+	}
+	in, out := src.NumPIs(), len(src.POs())
+	dst := aig.New(fmt.Sprintf("%s_x%d", src.Name, copies))
+
+	// All PIs must exist before any AND node: create the base copy's
+	// inputs plus the per-copy shortfall up front.
+	base := make([]aig.Lit, in)
+	for i := range base {
+		base[i] = dst.AddPI(fmt.Sprintf("pi0_%d", i))
+	}
+	shortfall := 0
+	if in > out {
+		shortfall = in - out
+	}
+	extras := make([][]aig.Lit, copies-1)
+	for k := range extras {
+		extras[k] = make([]aig.Lit, shortfall)
+		for i := range extras[k] {
+			extras[k][i] = dst.AddPI(fmt.Sprintf("pi%d_%d", k+1, i))
+		}
+	}
+
+	cur := base
+	for k := 0; k < copies; k++ {
+		outs := instantiate(dst, src, cur)
+		if k == copies-1 {
+			for i, l := range outs {
+				dst.AddPO(fmt.Sprintf("po%d_%d", k, i), l)
+			}
+			break
+		}
+		if out >= in {
+			cur = outs[:in]
+			for i, l := range outs[in:] {
+				dst.AddPO(fmt.Sprintf("po%d_%d", k, in+i), l)
+			}
+		} else {
+			cur = append(append([]aig.Lit(nil), outs...), extras[k]...)
+		}
+	}
+	return dst
+}
+
+// instantiate copies src into dst with the given literals standing in for
+// src's primary inputs; it returns the literals of src's primary outputs.
+func instantiate(dst, src *aig.Graph, inputs []aig.Lit) []aig.Lit {
+	mapping := make([]aig.Lit, src.NumNodes())
+	mapping[0] = aig.False
+	for i := 0; i < src.NumPIs(); i++ {
+		mapping[src.PILit(i).Node()] = inputs[i]
+	}
+	mapLit := func(l aig.Lit) aig.Lit {
+		return mapping[l.Node()].NotIf(l.IsNeg())
+	}
+	for n := uint32(src.NumPIs() + 1); n < uint32(src.NumNodes()); n++ {
+		f0, f1 := src.Fanins(n)
+		mapping[n] = dst.And(mapLit(f0), mapLit(f1))
+	}
+	outs := make([]aig.Lit, len(src.POs()))
+	for i, po := range src.POs() {
+		outs[i] = mapLit(po.Lit)
+	}
+	return outs
+}
+
+// orBalanced builds a balanced OR tree — a structurally different (and thus
+// not strash-merged) implementation of OrN's linear fold, used to inject
+// genuine equivalences for sweeping to prove.
+func orBalanced(g *aig.Graph, ls []aig.Lit) aig.Lit {
+	switch len(ls) {
+	case 0:
+		return aig.False
+	case 1:
+		return ls[0]
+	}
+	mid := len(ls) / 2
+	return g.Or(orBalanced(g, ls[:mid]), orBalanced(g, ls[mid:]))
+}
+
+// andBalanced is the AND counterpart of orBalanced.
+func andBalanced(g *aig.Graph, ls []aig.Lit) aig.Lit {
+	switch len(ls) {
+	case 0:
+		return aig.True
+	case 1:
+		return ls[0]
+	}
+	mid := len(ls) / 2
+	return g.And(andBalanced(g, ls[:mid]), andBalanced(g, ls[mid:]))
+}
+
+// randomCube draws a product term over the inputs with nlits literals.
+func randomCube(g *aig.Graph, rng *rand.Rand, inputs []aig.Lit, nlits int) aig.Lit {
+	perm := rng.Perm(len(inputs))[:nlits]
+	term := aig.True
+	for _, i := range perm {
+		term = g.And(term, inputs[i].NotIf(rng.Intn(2) == 1))
+	}
+	return term
+}

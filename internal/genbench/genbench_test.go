@@ -1,0 +1,279 @@
+package genbench
+
+import (
+	"math/rand"
+	"testing"
+
+	"simgen/internal/aig"
+	"simgen/internal/core"
+	"simgen/internal/mapper"
+	"simgen/internal/network"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 42 {
+		t.Fatalf("registry has %d benchmarks, want 42", len(names))
+	}
+	want := map[string]bool{
+		"alu4": true, "apex2": true, "sin": true, "square": true,
+		"arbiter": true, "m_ctrl": true, "voter": true, "log2": true,
+		"b14_C": true, "b17_C2": true, "b22_C": true,
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for n := range want {
+		if !have[n] {
+			t.Errorf("missing benchmark %q", n)
+		}
+	}
+	// No duplicates.
+	if len(have) != len(names) {
+		t.Fatal("duplicate benchmark names")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("apex2"); !ok {
+		t.Fatal("apex2 missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("found a benchmark that should not exist")
+	}
+}
+
+func TestAllBenchmarksBuildAndMap(t *testing.T) {
+	for _, b := range Registry() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			g := b.Build()
+			if g.NumAnds() == 0 {
+				t.Fatal("empty circuit")
+			}
+			net, err := b.LUTNetwork()
+			if err != nil {
+				t.Fatalf("mapping failed: %v", err)
+			}
+			if err := net.Check(); err != nil {
+				t.Fatalf("invalid network: %v", err)
+			}
+			if net.NumLUTs() == 0 {
+				t.Fatal("no LUTs after mapping")
+			}
+			// Mapped network must match the AIG on random vectors.
+			rng := rand.New(rand.NewSource(1))
+			for round := 0; round < 2; round++ {
+				vec := g.RandomVector(rng)
+				aigOut := g.EvalVector(vec)
+				netOut := evalNet(net, vec)
+				for p := range aigOut {
+					if aigOut[p] != netOut[p] {
+						t.Fatalf("PO %d mismatch between AIG and LUT network", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func evalNet(net *network.Network, vec []bool) []bool {
+	out := make([]bool, net.NumPOs())
+	vals := simVector(net, vec)
+	for i, po := range net.POs() {
+		out[i] = vals[po.Driver]
+	}
+	return out
+}
+
+func simVector(net *network.Network, vec []bool) []bool {
+	// Local tiny simulator to avoid an import cycle with sim in tests.
+	vals := make([]bool, net.NumNodes())
+	piIdx := 0
+	for id := 0; id < net.NumNodes(); id++ {
+		nd := net.Node(network.NodeID(id))
+		switch nd.Kind {
+		case network.KindPI:
+			vals[id] = vec[piIdx]
+			piIdx++
+		case network.KindConst:
+			vals[id] = nd.Func.IsConst1()
+		case network.KindLUT:
+			m := 0
+			for i, f := range nd.Fanins {
+				if vals[f] {
+					m |= 1 << uint(i)
+				}
+			}
+			vals[id] = nd.Func.Bit(m)
+		}
+	}
+	return vals
+}
+
+func TestBuildersDeterministic(t *testing.T) {
+	for _, name := range []string{"apex2", "b14_C", "m_ctrl", "des"} {
+		b, _ := ByName(name)
+		g1 := b.Build()
+		g2 := b.Build()
+		if g1.NumAnds() != g2.NumAnds() || g1.NumPIs() != g2.NumPIs() || len(g1.POs()) != len(g2.POs()) {
+			t.Fatalf("%s: non-deterministic structure", name)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 5; i++ {
+			vec := g1.RandomVector(rng)
+			o1 := g1.EvalVector(vec)
+			o2 := g2.EvalVector(vec)
+			for p := range o1 {
+				if o1[p] != o2[p] {
+					t.Fatalf("%s: non-deterministic function", name)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	// The _C and _C2 variants must not be identical circuits.
+	b1, _ := ByName("b14_C")
+	b2, _ := ByName("b14_C2")
+	g1, g2 := b1.Build(), b2.Build()
+	if g1.NumPIs() != g2.NumPIs() {
+		t.Skip("different interfaces")
+	}
+	rng := rand.New(rand.NewSource(3))
+	same := true
+	for i := 0; i < 10 && same; i++ {
+		vec := g1.RandomVector(rng)
+		o1, o2 := g1.EvalVector(vec), g2.EvalVector(vec)
+		for p := range o1 {
+			if o1[p] != o2[p] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("b14_C and b14_C2 behave identically")
+	}
+}
+
+func TestBenchmarksHaveCandidateClasses(t *testing.T) {
+	// The experiments need non-trivial equivalence classes after a random
+	// round; verify on a sample.
+	for _, name := range []string{"alu4", "apex2", "pdc", "b14_C", "m_ctrl"} {
+		b, _ := ByName(name)
+		net, err := b.LUTNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := core.NewRunner(net, 1, 42)
+		if r.Classes.Cost() == 0 {
+			t.Errorf("%s: no candidate classes (cost 0) — useless for the experiments", name)
+		}
+	}
+}
+
+func TestPutOnTopStructure(t *testing.T) {
+	b, _ := ByName("apex4") // 9 PIs, more POs than PIs
+	g := b.Build()
+	in, out := g.NumPIs(), len(g.POs())
+	stacked := PutOnTop(g, 3)
+	if out >= in {
+		// All shortfall-free: PI count unchanged, POs = excess*2 + final.
+		if stacked.NumPIs() != in {
+			t.Fatalf("PI count %d, want %d", stacked.NumPIs(), in)
+		}
+		wantPOs := 2*(out-in) + out
+		if len(stacked.POs()) != wantPOs {
+			t.Fatalf("PO count %d, want %d", len(stacked.POs()), wantPOs)
+		}
+	}
+	if stacked.NumAnds() < 2*g.NumAnds() {
+		t.Fatalf("stacking did not grow the circuit: %d vs %d", stacked.NumAnds(), g.NumAnds())
+	}
+}
+
+func TestPutOnTopShortfallCreatesPIs(t *testing.T) {
+	// A circuit with more inputs than outputs needs fresh PIs per copy.
+	g := aig.New("narrow")
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	g.AddPO("o", g.And(g.And(a, b), c))
+	stacked := PutOnTop(g, 3)
+	// copy0 uses 3 fresh; copies 1,2 reuse 1 output + 2 fresh each.
+	if stacked.NumPIs() != 3+2*2 {
+		t.Fatalf("PI count %d, want 7", stacked.NumPIs())
+	}
+	if len(stacked.POs()) != 1 {
+		t.Fatalf("PO count %d, want 1", len(stacked.POs()))
+	}
+	// Function: and of everything.
+	vec := []bool{true, true, true, true, true, true, true}
+	if !stacked.EvalVector(vec)[0] {
+		t.Fatal("all-ones should yield 1")
+	}
+	vec[4] = false
+	if stacked.EvalVector(vec)[0] {
+		t.Fatal("a zero input should propagate")
+	}
+}
+
+func TestPutOnTopFunctional(t *testing.T) {
+	// For a single-output single... use a 2-in 2-out circuit where
+	// stacking is easy to model: (x,y) -> (x XOR y, x AND y).
+	g := aig.New("fn")
+	x := g.AddPI("x")
+	y := g.AddPI("y")
+	g.AddPO("s", g.Xor(x, y))
+	g.AddPO("c", g.And(x, y))
+	stacked := PutOnTop(g, 2)
+	if stacked.NumPIs() != 2 || len(stacked.POs()) != 2 {
+		t.Fatalf("interface wrong: %s", stacked.Stats())
+	}
+	for m := 0; m < 4; m++ {
+		xv, yv := m&1 != 0, m&2 != 0
+		s1, c1 := xv != yv, xv && yv
+		want := []bool{s1 != c1, s1 && c1}
+		got := stacked.EvalVector([]bool{xv, yv})
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("m=%d: got %v want %v", m, got, want)
+		}
+	}
+}
+
+func TestPutOnTopSingleCopyIdentity(t *testing.T) {
+	b, _ := ByName("ex5p")
+	g := b.Build()
+	one := PutOnTop(g, 1)
+	if one.NumPIs() != g.NumPIs() || len(one.POs()) != len(g.POs()) {
+		t.Fatal("single copy changed the interface")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5; i++ {
+		vec := g.RandomVector(rng)
+		o1, o2 := g.EvalVector(vec), one.EvalVector(vec)
+		for p := range o1 {
+			if o1[p] != o2[p] {
+				t.Fatal("single copy changed the function")
+			}
+		}
+	}
+}
+
+func TestPutOnTopPreservesCandidateClasses(t *testing.T) {
+	// The scalability experiment depends on stacked circuits still having
+	// candidate classes after mapping and a random round.
+	b, _ := ByName("alu4")
+	stacked := PutOnTop(b.Build(), 5)
+	net, err := mapper.Map(stacked, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRunner(net, 1, 42)
+	if r.Classes.Cost() == 0 {
+		t.Fatal("stacked alu4 has no candidate classes")
+	}
+}

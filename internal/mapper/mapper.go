@@ -1,0 +1,286 @@
+// Package mapper implements cut-based K-LUT technology mapping of an
+// and-inverter graph, the equivalent of ABC's "if -K 6" command that the
+// SimGen paper applies to every benchmark before sweeping.
+//
+// The mapper enumerates priority cuts per node (Mishchenko et al., FPGA'06):
+// cuts of the two fanins are merged, pruned to the K best by (depth, area
+// flow), and the best cut of each node needed by the cover becomes one LUT.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"simgen/internal/aig"
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// K is the maximum LUT input count. The paper uses K=6.
+	K int
+	// CutsPerNode bounds the priority cut set kept per node.
+	CutsPerNode int
+}
+
+// DefaultOptions mirrors the paper's "if -K 6" configuration.
+func DefaultOptions() Options { return Options{K: 6, CutsPerNode: 8} }
+
+// cut is a set of leaf nodes, sorted ascending.
+type cut struct {
+	leaves []uint32
+	depth  int32
+	flow   float64
+}
+
+func (c *cut) sig() uint64 {
+	h := uint64(1469598103934665603)
+	for _, l := range c.leaves {
+		h ^= uint64(l)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mergeLeaves unions two sorted leaf sets, failing when the union exceeds k.
+func mergeLeaves(a, b []uint32, k int) ([]uint32, bool) {
+	out := make([]uint32, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next uint32
+		switch {
+		case i >= len(a):
+			next = b[j]
+			j++
+		case j >= len(b):
+			next = a[i]
+			i++
+		case a[i] < b[j]:
+			next = a[i]
+			i++
+		case a[i] > b[j]:
+			next = b[j]
+			j++
+		default:
+			next = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil, false
+		}
+		out = append(out, next)
+	}
+	return out, true
+}
+
+// Map covers the graph with K-input LUTs and returns the resulting network.
+func Map(g *aig.Graph, opts Options) (*network.Network, error) {
+	if opts.K < 2 || opts.K > tt.MaxVars {
+		return nil, fmt.Errorf("mapper: K=%d out of range [2,%d]", opts.K, tt.MaxVars)
+	}
+	if opts.CutsPerNode < 1 {
+		opts.CutsPerNode = 8
+	}
+	n := g.NumNodes()
+	refs := g.Refs()
+
+	cuts := make([][]cut, n)     // priority cuts per node (ANDs only)
+	arrival := make([]int32, n)  // depth of the best cut
+	flowOf := make([]float64, n) // area flow of the best cut
+
+	for node := uint32(1); node < uint32(n); node++ {
+		if g.IsPI(node) {
+			continue
+		}
+		f0, f1 := g.Fanins(node)
+		c0 := candCuts(cuts, f0.Node())
+		c1 := candCuts(cuts, f1.Node())
+		seen := map[uint64]bool{}
+		var set []cut
+		for _, a := range c0 {
+			for _, b := range c1 {
+				leaves, ok := mergeLeaves(a.leaves, b.leaves, opts.K)
+				if !ok {
+					continue
+				}
+				c := cut{leaves: leaves}
+				s := c.sig()
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				c.depth = cutDepth(arrival, leaves)
+				c.flow = cutFlow(flowOf, refs, node, leaves)
+				set = append(set, c)
+			}
+		}
+		sort.Slice(set, func(i, j int) bool {
+			if set[i].depth != set[j].depth {
+				return set[i].depth < set[j].depth
+			}
+			if set[i].flow != set[j].flow {
+				return set[i].flow < set[j].flow
+			}
+			return len(set[i].leaves) < len(set[j].leaves)
+		})
+		if len(set) > opts.CutsPerNode {
+			set = set[:opts.CutsPerNode]
+		}
+		if len(set) == 0 {
+			return nil, fmt.Errorf("mapper: node %d has no feasible cut", node)
+		}
+		cuts[node] = set
+		arrival[node] = set[0].depth
+		flowOf[node] = set[0].flow
+	}
+
+	return buildCover(g, cuts, opts)
+}
+
+// candCuts returns the cut set of a fanin node for merging: its priority
+// cuts plus the trivial cut {node}. PIs only have the trivial cut.
+func candCuts(cuts [][]cut, node uint32) []cut {
+	trivial := cut{leaves: []uint32{node}}
+	out := make([]cut, 0, len(cuts[node])+1)
+	out = append(out, cuts[node]...)
+	out = append(out, trivial)
+	return out
+}
+
+func cutDepth(arrival []int32, leaves []uint32) int32 {
+	d := int32(0)
+	for _, l := range leaves {
+		if arrival[l] > d {
+			d = arrival[l]
+		}
+	}
+	return d + 1
+}
+
+func cutFlow(flowOf []float64, refs []int32, node uint32, leaves []uint32) float64 {
+	f := 1.0
+	for _, l := range leaves {
+		f += flowOf[l]
+	}
+	r := refs[node]
+	if r < 1 {
+		r = 1
+	}
+	return f / float64(r)
+}
+
+// buildCover selects the best cut for every node required by the POs and
+// constructs the LUT network.
+func buildCover(g *aig.Graph, cuts [][]cut, opts Options) (*network.Network, error) {
+	n := g.NumNodes()
+	required := make([]bool, n)
+	for _, po := range g.POs() {
+		nd := po.Lit.Node()
+		if g.IsAnd(nd) {
+			required[nd] = true
+		}
+	}
+	// Mark leaves of chosen cuts transitively (reverse topological order).
+	for node := n - 1; node > 0; node-- {
+		if !required[node] || !g.IsAnd(uint32(node)) {
+			continue
+		}
+		for _, leaf := range cuts[node][0].leaves {
+			if g.IsAnd(leaf) {
+				required[leaf] = true
+			}
+		}
+	}
+
+	net := network.New(g.Name)
+	nodeOf := make([]network.NodeID, n)
+	for i := range nodeOf {
+		nodeOf[i] = network.NoNode
+	}
+	for i := 0; i < g.NumPIs(); i++ {
+		nodeOf[g.PILit(i).Node()] = net.AddPI(g.PIName(i))
+	}
+
+	for node := uint32(1); node < uint32(n); node++ {
+		if !required[node] || !g.IsAnd(node) {
+			continue
+		}
+		best := cuts[node][0]
+		fn := cutFunction(g, node, best.leaves)
+		fanins := make([]network.NodeID, len(best.leaves))
+		for i, leaf := range best.leaves {
+			if nodeOf[leaf] == network.NoNode {
+				return nil, fmt.Errorf("mapper: leaf %d of node %d not yet mapped", leaf, node)
+			}
+			fanins[i] = nodeOf[leaf]
+		}
+		nodeOf[node] = net.AddLUT("", fanins, fn)
+	}
+
+	inverters := map[network.NodeID]network.NodeID{}
+	invTable := tt.Var(1, 0).Not()
+	for _, po := range g.POs() {
+		nd := po.Lit.Node()
+		var driver network.NodeID
+		switch {
+		case nd == 0: // constant
+			v := po.Lit.IsNeg()
+			driver = net.AddConst(v)
+		default:
+			driver = nodeOf[nd]
+			if driver == network.NoNode {
+				return nil, fmt.Errorf("mapper: PO %q driver unmapped", po.Name)
+			}
+			if po.Lit.IsNeg() {
+				inv, ok := inverters[driver]
+				if !ok {
+					inv = net.AddLUT("", []network.NodeID{driver}, invTable)
+					inverters[driver] = inv
+				}
+				driver = inv
+			}
+		}
+		net.AddPO(po.Name, driver)
+	}
+	if err := net.Check(); err != nil {
+		return nil, fmt.Errorf("mapper: produced invalid network: %v", err)
+	}
+	return net, nil
+}
+
+// cutFunction computes the truth table of node over the given cut leaves.
+func cutFunction(g *aig.Graph, node uint32, leaves []uint32) tt.Table {
+	k := len(leaves)
+	memo := map[uint32]tt.Table{}
+	for i, l := range leaves {
+		memo[l] = tt.Var(k, i)
+	}
+	var eval func(n uint32) tt.Table
+	evalLit := func(l aig.Lit) tt.Table {
+		t := eval(l.Node())
+		if l.IsNeg() {
+			return t.Not()
+		}
+		return t
+	}
+	eval = func(n uint32) tt.Table {
+		if t, ok := memo[n]; ok {
+			return t
+		}
+		if n == 0 {
+			return tt.Const(k, false)
+		}
+		if g.IsPI(n) {
+			// A PI inside the cone that is not a leaf cannot happen: cuts
+			// always stop at PIs.
+			panic(fmt.Sprintf("mapper: PI %d inside cut cone", n))
+		}
+		f0, f1 := g.Fanins(n)
+		t := evalLit(f0).And(evalLit(f1))
+		memo[n] = t
+		return t
+	}
+	return eval(node)
+}

@@ -1,0 +1,34 @@
+package network
+
+import "simgen/internal/tt"
+
+// nodeCovers caches the ISOP on-/off-set covers of a node function. These
+// are the "truth-table rows" SimGen's implication and decision procedures
+// select from, and the simulator's evaluation form.
+type nodeCovers struct {
+	on, off tt.Cover
+}
+
+// Covers returns ISOP covers of the on-set and off-set of node id's
+// function. Results are cached per node; the cache is dropped whenever the
+// network is structurally edited.
+func (n *Network) Covers(id NodeID) (on, off tt.Cover) {
+	if n.covers == nil {
+		n.covers = make(map[NodeID]nodeCovers)
+	}
+	if c, ok := n.covers[id]; ok {
+		return c.on, c.off
+	}
+	nd := &n.nodes[id]
+	var c nodeCovers
+	switch nd.Kind {
+	case KindPI:
+		// A PI behaves as the identity over one virtual variable.
+		c.on = tt.Cover{tt.Cube{}.WithLiteral(0, true)}
+		c.off = tt.Cover{tt.Cube{}.WithLiteral(0, false)}
+	default:
+		c.on, c.off = tt.OnOffCovers(nd.Func)
+	}
+	n.covers[id] = c
+	return c.on, c.off
+}

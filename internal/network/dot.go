@@ -1,0 +1,48 @@
+package network
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot emits the network as a Graphviz digraph for visual debugging:
+// primary inputs as boxes, LUTs as ellipses labelled with their hex truth
+// table, primary outputs as double circles.
+func (n *Network) WriteDot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "network"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n", name)
+	for id := 0; id < n.NumNodes(); id++ {
+		nid := NodeID(id)
+		nd := n.Node(nid)
+		label := nd.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d", id)
+		}
+		switch nd.Kind {
+		case KindPI:
+			fmt.Fprintf(bw, "  n%d [shape=box,label=%q];\n", id, label)
+		case KindConst:
+			v := 0
+			if nd.Func.IsConst1() {
+				v = 1
+			}
+			fmt.Fprintf(bw, "  n%d [shape=box,style=dashed,label=\"const %d\"];\n", id, v)
+		case KindLUT:
+			fmt.Fprintf(bw, "  n%d [label=\"%s\\nlut%d\"];\n", id, label, len(nd.Fanins))
+			for _, f := range nd.Fanins {
+				fmt.Fprintf(bw, "  n%d -> n%d;\n", f, id)
+			}
+		}
+	}
+	for i, po := range n.POs() {
+		fmt.Fprintf(bw, "  po%d [shape=doublecircle,label=%q];\n", i, po.Name)
+		fmt.Fprintf(bw, "  n%d -> po%d;\n", po.Driver, i)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,93 @@
+package network
+
+// MFFC returns the maximum fanout-free cone of root: the set of nodes in
+// root's fanin cone whose every path to a primary output passes through
+// root. The root itself is always a member; primary inputs and constants
+// never are (unless root itself is one, in which case the MFFC is {root}).
+//
+// The computation uses the standard reference-counting traversal: starting
+// from root, a fanin joins the cone when all of its fanouts are already
+// inside.
+func (n *Network) MFFC(root NodeID) []NodeID {
+	n.update()
+	if n.nodes[root].Kind != KindLUT {
+		return []NodeID{root}
+	}
+	inCone := map[NodeID]bool{root: true}
+	remaining := map[NodeID]int{}
+	cone := []NodeID{root}
+	// Process in decreasing ID order so that a node's fanouts inside the
+	// cone are all accounted for before the node itself is examined.
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		// Pop the largest ID.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i] > queue[best] {
+				best = i
+			}
+		}
+		id := queue[best]
+		queue[best] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		for _, f := range n.nodes[id].Fanins {
+			if inCone[f] || n.nodes[f].Kind != KindLUT {
+				continue
+			}
+			if _, seen := remaining[f]; !seen {
+				remaining[f] = len(n.fanouts[f]) + n.poRefs(f)
+			}
+			remaining[f]--
+			if remaining[f] == 0 {
+				inCone[f] = true
+				cone = append(cone, f)
+				queue = append(queue, f)
+			}
+		}
+	}
+	return cone
+}
+
+// poRefs counts how many POs are driven by id.
+func (n *Network) poRefs(id NodeID) int {
+	c := 0
+	for _, po := range n.pos {
+		if po.Driver == id {
+			c++
+		}
+	}
+	return c
+}
+
+// MFFCDepth computes the average leaf depth of the MFFC of root (Eq. 2 of
+// the paper): the mean of level(root) - level(leaf) over the cone's leaves.
+// A leaf is a cone member none of whose fanins lie inside the cone; when
+// the cone is {root} alone, root is its own leaf and the depth is 0.
+func (n *Network) MFFCDepth(root NodeID) float64 {
+	cone := n.MFFC(root)
+	inCone := make(map[NodeID]bool, len(cone))
+	for _, id := range cone {
+		inCone[id] = true
+	}
+	rootLevel := n.Level(root)
+	var sum float64
+	leaves := 0
+	for _, id := range cone {
+		isLeaf := true
+		for _, f := range n.nodes[id].Fanins {
+			if inCone[f] {
+				isLeaf = false
+				break
+			}
+		}
+		if isLeaf {
+			leaves++
+			sum += float64(rootLevel - n.Level(id))
+		}
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return sum / float64(leaves)
+}

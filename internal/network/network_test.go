@@ -1,0 +1,367 @@
+package network
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"simgen/internal/tt"
+)
+
+// buildDiamond constructs:
+//
+//	a, b : PIs
+//	x = a AND b
+//	y = a OR b
+//	z = x XOR y
+//	PO out = z
+func buildDiamond(t *testing.T) (*Network, map[string]NodeID) {
+	t.Helper()
+	n := New("diamond")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	and2 := tt.Var(2, 0).And(tt.Var(2, 1))
+	or2 := tt.Var(2, 0).Or(tt.Var(2, 1))
+	xor2 := tt.Var(2, 0).Xor(tt.Var(2, 1))
+	x := n.AddLUT("x", []NodeID{a, b}, and2)
+	y := n.AddLUT("y", []NodeID{a, b}, or2)
+	z := n.AddLUT("z", []NodeID{x, y}, xor2)
+	n.AddPO("out", z)
+	if err := n.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return n, map[string]NodeID{"a": a, "b": b, "x": x, "y": y, "z": z}
+}
+
+func TestBasicConstruction(t *testing.T) {
+	n, ids := buildDiamond(t)
+	if n.NumPIs() != 2 || n.NumPOs() != 1 || n.NumLUTs() != 3 || n.NumNodes() != 5 {
+		t.Fatalf("counts wrong: %v", n.Stats())
+	}
+	if n.Level(ids["a"]) != 0 || n.Level(ids["x"]) != 1 || n.Level(ids["z"]) != 2 {
+		t.Fatal("levels wrong")
+	}
+	if n.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", n.Depth())
+	}
+	if got := n.Stats().String(); got != "pi=2 po=1 lut=3 depth=2" {
+		t.Fatalf("stats string = %q", got)
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	n, ids := buildDiamond(t)
+	fa := n.Fanouts(ids["a"])
+	if len(fa) != 2 {
+		t.Fatalf("fanouts of a = %v", fa)
+	}
+	if len(n.Fanouts(ids["z"])) != 0 {
+		t.Fatal("z should have no fanouts")
+	}
+	if len(n.Fanouts(ids["x"])) != 1 || n.Fanouts(ids["x"])[0] != ids["z"] {
+		t.Fatal("fanouts of x wrong")
+	}
+}
+
+func TestFaninCone(t *testing.T) {
+	n, ids := buildDiamond(t)
+	cone := n.FaninCone(ids["z"])
+	if len(cone) != 5 {
+		t.Fatalf("cone size = %d, want 5", len(cone))
+	}
+	if cone[len(cone)-1] != ids["z"] {
+		t.Fatal("root must be last in post-order")
+	}
+	// Topological: every node's fanins appear earlier.
+	pos := map[NodeID]int{}
+	for i, id := range cone {
+		pos[id] = i
+	}
+	for _, id := range cone {
+		for _, f := range n.Node(id).Fanins {
+			if pos[f] >= pos[id] {
+				t.Fatalf("cone not topological: %d before %d", id, f)
+			}
+		}
+	}
+	pis := n.ConePIs(ids["z"])
+	if len(pis) != 2 {
+		t.Fatalf("cone PIs = %v", pis)
+	}
+	// Cone of a PI is itself.
+	if c := n.FaninCone(ids["a"]); len(c) != 1 || c[0] != ids["a"] {
+		t.Fatal("PI cone wrong")
+	}
+}
+
+func TestMFFCSharedNode(t *testing.T) {
+	// x and y are both shared through z, but z is the only PO driver, so
+	// MFFC(z) = {z, x, y} (PIs excluded).
+	n, ids := buildDiamond(t)
+	m := n.MFFC(ids["z"])
+	if len(m) != 3 {
+		t.Fatalf("MFFC(z) = %v, want 3 nodes", m)
+	}
+	// x has a single fanout (z) but MFFC(x) = {x} since PIs don't join.
+	if m := n.MFFC(ids["x"]); len(m) != 1 || m[0] != ids["x"] {
+		t.Fatalf("MFFC(x) = %v", m)
+	}
+}
+
+func TestMFFCStopsAtSharing(t *testing.T) {
+	// Chain with an extra PO tap in the middle:
+	//   p -> u -> v -> w (PO), and u also drives PO "tap".
+	// MFFC(w) must contain w and v but not u.
+	n := New("tap")
+	p := n.AddPI("p")
+	inv := tt.Var(1, 0).Not()
+	u := n.AddLUT("u", []NodeID{p}, inv)
+	v := n.AddLUT("v", []NodeID{u}, inv)
+	w := n.AddLUT("w", []NodeID{v}, inv)
+	n.AddPO("out", w)
+	n.AddPO("tap", u)
+	m := n.MFFC(w)
+	want := map[NodeID]bool{w: true, v: true}
+	if len(m) != 2 {
+		t.Fatalf("MFFC(w) = %v, want {w,v}", m)
+	}
+	for _, id := range m {
+		if !want[id] {
+			t.Fatalf("unexpected MFFC member %d", id)
+		}
+	}
+}
+
+func TestMFFCEveryPathProperty(t *testing.T) {
+	// Property: removing the MFFC root disconnects every MFFC member from
+	// all POs. Verified by reachability over fanouts avoiding the root.
+	n, ids := buildDiamond(t)
+	root := ids["z"]
+	m := n.MFFC(root)
+	for _, member := range m {
+		if member == root {
+			continue
+		}
+		if reachesPOAvoiding(n, member, root) {
+			t.Fatalf("MFFC member %d reaches a PO without passing through root", member)
+		}
+	}
+}
+
+func reachesPOAvoiding(n *Network, from, avoid NodeID) bool {
+	poDriver := map[NodeID]bool{}
+	for _, po := range n.POs() {
+		poDriver[po.Driver] = true
+	}
+	seen := map[NodeID]bool{}
+	stack := []NodeID{from}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] || id == avoid {
+			continue
+		}
+		seen[id] = true
+		if poDriver[id] {
+			return true
+		}
+		stack = append(stack, n.Fanouts(id)...)
+	}
+	return false
+}
+
+func TestMFFCDepth(t *testing.T) {
+	// Reproduce the paper's Fig. 4c arithmetic: a cone whose root is at
+	// level 3 with leaves at levels 1, 2, 3 has depth 1.
+	n := New("fig4c")
+	p0 := n.AddPI("p0")
+	p1 := n.AddPI("p1")
+	inv := tt.Var(1, 0).Not()
+	and2 := tt.Var(2, 0).And(tt.Var(2, 1))
+	m1 := n.AddLUT("m", []NodeID{p0}, inv)          // level 1
+	n1 := n.AddLUT("n", []NodeID{m1}, inv)          // level 2
+	y := n.AddLUT("y", []NodeID{n1, p1}, and2)      // level 3 — shared below
+	top := n.AddLUT("top", []NodeID{y, p1}, and2)   // level 4
+	side := n.AddLUT("side", []NodeID{y, p0}, and2) // second fanout of y
+	n.AddPO("o1", top)
+	n.AddPO("o2", side)
+	// MFFC(top): y is shared (drives side too) so cone = {top} and its
+	// depth is 0 (root is its own leaf).
+	if d := n.MFFCDepth(top); d != 0 {
+		t.Fatalf("MFFCDepth(top) = %v, want 0", d)
+	}
+	// Remove the sharing: a network where y's cone folds into the root.
+	n2 := New("fig4c-unshared")
+	q0 := n2.AddPI("p0")
+	q1 := n2.AddPI("p1")
+	m2 := n2.AddLUT("m", []NodeID{q0}, inv)
+	n2n := n2.AddLUT("n", []NodeID{m2}, inv)
+	y2 := n2.AddLUT("y", []NodeID{n2n, q1}, and2)
+	top2 := n2.AddLUT("top", []NodeID{y2, q0}, and2)
+	n2.AddPO("o", top2)
+	// MFFC(top2) = {top2, y2, n, m}; leaves are m (level 1)... all fanins
+	// of m are PIs so m is the only... n has fanin m in cone, y2 has n in
+	// cone, top2 has y2. So leaves = {m}: depth = level(top2)-level(m) = 3.
+	if d := n2.MFFCDepth(top2); d != 3 {
+		t.Fatalf("MFFCDepth(top2) = %v, want 3", d)
+	}
+	// Depth of a PI's MFFC is 0.
+	if d := n2.MFFCDepth(q0); d != 0 {
+		t.Fatalf("PI MFFC depth = %v", d)
+	}
+}
+
+func TestReplaceFanin(t *testing.T) {
+	n, ids := buildDiamond(t)
+	// Replace x by a in z's fanins (semantically wrong but structurally valid).
+	if c := n.ReplaceFanin(ids["z"], ids["x"], ids["a"]); c != 1 {
+		t.Fatalf("replaced %d, want 1", c)
+	}
+	if n.Node(ids["z"]).Fanins[0] != ids["a"] {
+		t.Fatal("fanin not replaced")
+	}
+	if err := n.Check(); err != nil {
+		t.Fatalf("Check after replace: %v", err)
+	}
+	if c := n.ReplacePODriver(ids["z"], ids["y"]); c != 1 {
+		t.Fatal("PO driver not replaced")
+	}
+	if n.POs()[0].Driver != ids["y"] {
+		t.Fatal("PO driver wrong")
+	}
+}
+
+func TestClone(t *testing.T) {
+	n, ids := buildDiamond(t)
+	c := n.Clone()
+	c.ReplaceFanin(ids["z"], ids["x"], ids["a"])
+	if n.Node(ids["z"]).Fanins[0] != ids["x"] {
+		t.Fatal("clone shares fanin storage with original")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	n := New("bad")
+	a := n.AddPI("a")
+	// Wrong arity table.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddLUT accepted arity mismatch")
+		}
+	}()
+	n.AddLUT("bad", []NodeID{a}, tt.Const(2, false))
+}
+
+func TestAddLUTRejectsForwardEdge(t *testing.T) {
+	n := New("bad")
+	n.AddPI("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddLUT accepted forward fanin reference")
+		}
+	}()
+	n.AddLUT("bad", []NodeID{5}, tt.Var(1, 0))
+}
+
+func TestFaninIndex(t *testing.T) {
+	n, ids := buildDiamond(t)
+	if n.FaninIndex(ids["z"], ids["y"]) != 1 {
+		t.Fatal("FaninIndex wrong")
+	}
+	if n.FaninIndex(ids["z"], ids["a"]) != -1 {
+		t.Fatal("FaninIndex should be -1 for non-fanin")
+	}
+}
+
+func TestConstNode(t *testing.T) {
+	n := New("const")
+	c1 := n.AddConst(true)
+	n.AddPO("k", c1)
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Node(c1).Kind != KindConst || !n.Node(c1).Func.IsConst1() {
+		t.Fatal("const node wrong")
+	}
+	if n.Level(c1) != 0 {
+		t.Fatal("const level wrong")
+	}
+	if n.Node(c1).Kind.String() != "const" {
+		t.Fatal("kind string wrong")
+	}
+}
+
+func TestMFFCPropertyOnRandomNetworks(t *testing.T) {
+	// Property: for every LUT node of random networks, every non-root
+	// MFFC member is disconnected from all POs once the root is removed.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		n := New("rand")
+		var ids []NodeID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, n.AddPI(""))
+		}
+		for i := 0; i < 25; i++ {
+			k := 1 + rng.Intn(3)
+			seen := map[NodeID]bool{}
+			var fi []NodeID
+			for len(fi) < k {
+				f := ids[rng.Intn(len(ids))]
+				if seen[f] {
+					continue
+				}
+				seen[f] = true
+				fi = append(fi, f)
+			}
+			fn := tt.New(k)
+			for m := 0; m < 1<<k; m++ {
+				fn.SetBit(m, rng.Intn(2) == 1)
+			}
+			ids = append(ids, n.AddLUT("", fi, fn))
+		}
+		for i := 0; i < 3; i++ {
+			n.AddPO("", ids[len(ids)-1-rng.Intn(8)])
+		}
+		for id := 0; id < n.NumNodes(); id++ {
+			root := NodeID(id)
+			if n.Node(root).Kind != KindLUT {
+				continue
+			}
+			for _, member := range n.MFFC(root) {
+				if member == root {
+					continue
+				}
+				if reachesPOAvoiding(n, member, root) {
+					t.Fatalf("trial %d: MFFC(%d) member %d escapes", trial, root, member)
+				}
+			}
+			// Depth is always finite and non-negative.
+			if d := n.MFFCDepth(root); d < 0 {
+				t.Fatalf("negative MFFC depth %v", d)
+			}
+		}
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	n, ids := buildDiamond(t)
+	_ = ids
+	var buf bytes.Buffer
+	if err := n.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph", "shape=box", "doublecircle", "->", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every LUT contributes fanin edges.
+	if strings.Count(dot, "->") < 6 { // 4 fanin edges + 1 PO edge at least
+		t.Fatalf("too few edges:\n%s", dot)
+	}
+}

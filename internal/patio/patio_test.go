@@ -1,0 +1,71 @@
+package patio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	vectors := [][]bool{
+		{true, false, true},
+		{false, false, false},
+		{true, true, true},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, vectors); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d patterns", len(got))
+	}
+	for i := range vectors {
+		for j := range vectors[i] {
+			if got[i][j] != vectors[i][j] {
+				t.Fatalf("pattern %d bit %d wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\n101 # trailing comment\n010\n"
+	got, err := Read(strings.NewReader(src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0][0] || got[0][1] {
+		t.Fatalf("parsed wrong: %v", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		src   string
+		width int
+	}{
+		{"10x\n", 0},
+		{"101\n10\n", 0},
+		{"101\n", 4},
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c.src), c.width); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round-trip: %v %v", got, err)
+	}
+}

@@ -1,0 +1,94 @@
+package sat
+
+// varHeap is an indexed max-heap over variable activities, used for VSIDS
+// branching. It points at the solver's activity slice so bumps reorder the
+// heap through update.
+type varHeap struct {
+	activity *[]float64
+	heap     []int // heap of variable indices
+	indices  []int // position of each variable in heap, -1 when absent
+}
+
+func newVarHeap(activity *[]float64) *varHeap {
+	return &varHeap{activity: activity}
+}
+
+func (h *varHeap) less(i, j int) bool {
+	a := *h.activity
+	return a[h.heap[i]] > a[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i
+	h.indices[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// push inserts a new variable (assumed not present).
+func (h *varHeap) push(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+// pushIfAbsent reinserts a variable after backtracking.
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+// pop removes and returns the most active variable.
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return -1, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.indices[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] >= 0 {
+		h.up(h.indices[v])
+	}
+}

@@ -1,0 +1,644 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver in the MiniSat tradition: two-literal watches,
+// VSIDS variable activity, first-UIP conflict analysis with clause
+// minimization, phase saving, Luby restarts, and learned-clause database
+// reduction. It is the verification engine behind SAT sweeping.
+package sat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Lit is a solver literal: 2*variable + sign, where sign 1 means negated.
+type Lit int32
+
+// MkLit builds a literal from a zero-based variable index.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 != 0 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.IsNeg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+const (
+	valueUnassigned int8 = -1
+	valueFalse      int8 = 0
+	valueTrue       int8 = 1
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+	lbd      int32
+}
+
+type watcher struct {
+	clauseRef int32
+	blocker   Lit
+}
+
+// Stats counts solver work, exposed for the sweeping instrumentation.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []int8
+	level    []int32
+	reason   []int32 // clause ref or -1
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	phase    []bool
+
+	claInc      float64
+	maxLearnt   float64
+	learntCount int
+
+	seen      []bool
+	analyzeTo []Lit
+
+	// ConflictBudget, when positive, bounds the number of conflicts per
+	// Solve call; exceeding it yields Unknown.
+	ConflictBudget int64
+
+	Stats Stats
+
+	// onLearn, when set, observes every learnt clause (testing hook).
+	onLearn func([]Lit)
+
+	unsat bool // set when the clause set is trivially contradictory
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc: 1.0,
+		claInc: 1.0,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of variables created.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, valueUnassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) litValue(l Lit) int8 {
+	a := s.assigns[l.Var()]
+	if a == valueUnassigned {
+		return valueUnassigned
+	}
+	if l.IsNeg() {
+		return 1 - a
+	}
+	return a
+}
+
+// AddClause adds a clause at decision level 0. It returns false when the
+// formula became trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	// Sort, dedup, drop false literals, detect tautologies and satisfied
+	// clauses.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if int(l.Var()) >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology
+		}
+		switch s.litValue(l) {
+		case valueTrue:
+			return true // already satisfied
+		case valueFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], -1)
+		if s.propagate() >= 0 {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	s.attachClause(clause{lits: append([]Lit(nil), out...)})
+	return true
+}
+
+func (s *Solver) attachClause(c clause) int32 {
+	ref := int32(len(s.clauses))
+	s.clauses = append(s.clauses, c)
+	lits := s.clauses[ref].lits
+	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{ref, lits[1]})
+	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{ref, lits[0]})
+	if c.learnt {
+		s.learntCount++
+	}
+	return ref
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from int32) {
+	v := l.Var()
+	if l.IsNeg() {
+		s.assigns[v] = valueFalse
+	} else {
+		s.assigns[v] = valueTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the ref of a conflicting
+// clause or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+
+		ws := s.watches[p]
+		kept := ws[:0]
+		conflict := int32(-1)
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.litValue(w.blocker) == valueTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := &s.clauses[w.clauseRef]
+			lits := c.lits
+			// Ensure the false literal is lits[1].
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.litValue(first) == valueTrue {
+				kept = append(kept, watcher{w.clauseRef, first})
+				continue
+			}
+			// Search a new watch.
+			found := false
+			for k := 2; k < len(lits); k++ {
+				if s.litValue(lits[k]) != valueFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{w.clauseRef, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{w.clauseRef, first})
+			if s.litValue(first) == valueFalse {
+				conflict = w.clauseRef
+				// Copy remaining watchers and stop.
+				kept = append(kept, ws[wi+1:]...)
+				s.qhead = len(s.trail)
+				break
+			}
+			s.uncheckedEnqueue(first, w.clauseRef)
+		}
+		s.watches[p] = kept
+		if conflict >= 0 {
+			return conflict
+		}
+	}
+	return -1
+}
+
+// analyze performs first-UIP learning; it fills s.analyzeTo with the learnt
+// clause (asserting literal first) and returns the backtrack level and the
+// clause LBD.
+func (s *Solver) analyze(confl int32) (int, int32) {
+	s.analyzeTo = s.analyzeTo[:0]
+	s.analyzeTo = append(s.analyzeTo, 0) // placeholder for the UIP
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		c := &s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathC++
+			} else {
+				s.analyzeTo = append(s.analyzeTo, q)
+			}
+		}
+		// Select next literal on the trail to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	s.analyzeTo[0] = p.Not()
+
+	// Clause minimization: drop literals implied by the rest.
+	marked := make(map[int]bool, len(s.analyzeTo))
+	for _, l := range s.analyzeTo {
+		marked[l.Var()] = true
+	}
+	toClear := append([]Lit(nil), s.analyzeTo...)
+	out := s.analyzeTo[:1]
+	for _, l := range s.analyzeTo[1:] {
+		r := s.reason[l.Var()]
+		if r < 0 {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range s.clauses[r].lits {
+			if q.Var() == l.Var() {
+				continue
+			}
+			if !marked[q.Var()] && s.level[q.Var()] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, l)
+		}
+	}
+	s.analyzeTo = out
+
+	// Clear seen flags, including literals dropped by minimization — stale
+	// seen bits would silently drop literals from future learnt clauses.
+	for _, l := range toClear {
+		s.seen[l.Var()] = false
+	}
+
+	// Compute backtrack level and LBD.
+	btLevel := 0
+	if len(s.analyzeTo) > 1 {
+		maxI := 1
+		for i := 2; i < len(s.analyzeTo); i++ {
+			if s.level[s.analyzeTo[i].Var()] > s.level[s.analyzeTo[maxI].Var()] {
+				maxI = i
+			}
+		}
+		s.analyzeTo[1], s.analyzeTo[maxI] = s.analyzeTo[maxI], s.analyzeTo[1]
+		btLevel = int(s.level[s.analyzeTo[1].Var()])
+	}
+	levels := map[int32]bool{}
+	for _, l := range s.analyzeTo {
+		levels[s.level[l.Var()]] = true
+	}
+	return btLevel, int32(len(levels))
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(ref int32) {
+	c := &s.clauses[ref]
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for i := range s.clauses {
+			if s.clauses[i].learnt {
+				s.clauses[i].activity *= 1e-20
+			}
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = !l.IsNeg()
+		s.assigns[v] = valueUnassigned
+		s.reason[v] = -1
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == valueUnassigned {
+			return v
+		}
+	}
+}
+
+// reduceDB removes the less active half of the learned clauses.
+func (s *Solver) reduceDB() {
+	type entry struct {
+		ref int32
+		act float64
+		lbd int32
+	}
+	var learnts []entry
+	for i := range s.clauses {
+		if s.clauses[i].learnt && len(s.clauses[i].lits) > 2 {
+			learnts = append(learnts, entry{int32(i), s.clauses[i].activity, s.clauses[i].lbd})
+		}
+	}
+	sort.Slice(learnts, func(i, j int) bool {
+		if learnts[i].lbd != learnts[j].lbd {
+			return learnts[i].lbd > learnts[j].lbd
+		}
+		return learnts[i].act < learnts[j].act
+	})
+	remove := map[int32]bool{}
+	for _, e := range learnts[:len(learnts)/2] {
+		if s.locked(e.ref) {
+			continue
+		}
+		remove[e.ref] = true
+	}
+	if len(remove) == 0 {
+		return
+	}
+	s.rebuildWithout(remove)
+}
+
+// locked reports whether a clause is the reason of a current assignment.
+func (s *Solver) locked(ref int32) bool {
+	lits := s.clauses[ref].lits
+	if len(lits) == 0 {
+		return false
+	}
+	v := lits[0].Var()
+	return s.reason[v] == ref && s.assigns[v] != valueUnassigned
+}
+
+// rebuildWithout compacts the clause database, dropping the given refs and
+// remapping watches and reasons.
+func (s *Solver) rebuildWithout(remove map[int32]bool) {
+	remap := make([]int32, len(s.clauses))
+	var out []clause
+	for i := range s.clauses {
+		if remove[int32(i)] {
+			remap[i] = -1
+			if s.clauses[i].learnt {
+				s.learntCount--
+			}
+			continue
+		}
+		remap[i] = int32(len(out))
+		out = append(out, s.clauses[i])
+	}
+	s.clauses = out
+	for v := range s.reason {
+		if r := s.reason[v]; r >= 0 {
+			s.reason[v] = remap[r]
+		}
+	}
+	for l := range s.watches {
+		ws := s.watches[l][:0]
+		for _, w := range s.watches[l] {
+			if nr := remap[w.clauseRef]; nr >= 0 {
+				ws = append(ws, watcher{nr, w.blocker})
+			}
+		}
+		s.watches[l] = ws
+	}
+}
+
+// luby computes the Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve searches for a model under the given assumptions. It returns Sat,
+// Unsat, or Unknown when the conflict budget is exhausted.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.unsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() >= 0 {
+		s.unsat = true
+		return Unsat
+	}
+
+	restartBase := int64(100)
+	var restartNum int64
+	conflictsAtStart := s.Stats.Conflicts
+	conflictLimit := restartBase * luby(restartNum)
+	conflictsThisRestart := int64(0)
+	if s.maxLearnt == 0 {
+		s.maxLearnt = math.Max(1000, float64(len(s.clauses))/3)
+	}
+
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.Stats.Conflicts++
+			conflictsThisRestart++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			btLevel, lbd := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			learnt := append([]Lit(nil), s.analyzeTo...)
+			if s.onLearn != nil {
+				s.onLearn(learnt)
+			}
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], -1)
+			} else {
+				ref := s.attachClause(clause{lits: learnt, learnt: true, lbd: lbd})
+				s.Stats.Learnt++
+				s.uncheckedEnqueue(learnt[0], ref)
+			}
+			s.decayVar()
+			s.decayClause()
+			if s.ConflictBudget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.ConflictBudget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		if conflictsThisRestart >= conflictLimit {
+			// Restart.
+			s.Stats.Restarts++
+			restartNum++
+			conflictLimit = restartBase * luby(restartNum)
+			conflictsThisRestart = 0
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(s.learntCount) > s.maxLearnt {
+			s.reduceDB()
+			s.maxLearnt *= 1.1
+		}
+
+		// Assumption decisions first.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case valueTrue:
+				// Already satisfied: open an empty decision level so the
+				// index bookkeeping stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case valueFalse:
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.uncheckedEnqueue(a, -1)
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, !s.phase[v]), -1)
+	}
+}
+
+// Value returns the model value of variable v after Sat.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == valueTrue }
+
+// NumClauses returns the number of stored clauses (problem + learnt).
+func (s *Solver) NumClauses() int { return len(s.clauses) }

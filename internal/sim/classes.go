@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"sort"
+
+	"simgen/internal/network"
+)
+
+// Classes partitions the LUT (and constant) nodes of a network into
+// candidate equivalence classes: nodes whose outputs agreed on every
+// simulated vector so far. Primary inputs are excluded — distinct PIs are
+// free variables and never candidates for merging.
+//
+// Classes only ever refine: once two nodes are separated they can never
+// rejoin, mirroring the monotone partition refinement of sweeping tools.
+type Classes struct {
+	net     *network.Network
+	classOf []int32 // per node; -1 when not classified
+	members [][]network.NodeID
+}
+
+// classified reports whether a node participates in equivalence classes.
+func classified(net *network.Network, id network.NodeID) bool {
+	k := net.Node(id).Kind
+	return k == network.KindLUT || k == network.KindConst
+}
+
+// NewClasses builds the initial partition from one round of simulation
+// values: nodes with identical words share a class.
+func NewClasses(net *network.Network, vals Values) *Classes {
+	c := &Classes{
+		net:     net,
+		classOf: make([]int32, net.NumNodes()),
+	}
+	for i := range c.classOf {
+		c.classOf[i] = -1
+	}
+	bySig := map[uint64][]network.NodeID{}
+	var order []uint64
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := network.NodeID(id)
+		if !classified(net, nid) {
+			continue
+		}
+		sig := Signature(vals[id])
+		if _, ok := bySig[sig]; !ok {
+			order = append(order, sig)
+		}
+		bySig[sig] = append(bySig[sig], nid)
+	}
+	// Exact grouping (hash collisions resolved) in deterministic order.
+	for _, sig := range order {
+		for _, group := range exactGroups(vals, bySig[sig]) {
+			ci := int32(len(c.members))
+			for _, id := range group {
+				c.classOf[id] = ci
+			}
+			c.members = append(c.members, group)
+		}
+	}
+	return c
+}
+
+// exactGroups splits a hash bucket into groups with exactly equal words.
+func exactGroups(vals Values, bucket []network.NodeID) [][]network.NodeID {
+	var groups [][]network.NodeID
+outer:
+	for _, id := range bucket {
+		for gi, g := range groups {
+			if wordsEqual(vals[g[0]], vals[id]) {
+				groups[gi] = append(groups[gi], id)
+				continue outer
+			}
+		}
+		groups = append(groups, []network.NodeID{id})
+	}
+	return groups
+}
+
+func wordsEqual(a, b Words) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Refine splits every class according to fresh simulation values and
+// returns the number of classes that were split.
+func (c *Classes) Refine(vals Values) int {
+	splits := 0
+	old := c.members
+	c.members = make([][]network.NodeID, 0, len(old))
+	for _, group := range old {
+		subs := exactGroups(vals, group)
+		if len(subs) > 1 {
+			splits++
+		}
+		for _, sub := range subs {
+			ci := int32(len(c.members))
+			for _, id := range sub {
+				c.classOf[id] = ci
+			}
+			c.members = append(c.members, sub)
+		}
+	}
+	return splits
+}
+
+// NumClasses returns the number of classes (including singletons).
+func (c *Classes) NumClasses() int { return len(c.members) }
+
+// ClassOf returns the class index of a node, or -1 when unclassified.
+func (c *Classes) ClassOf(id network.NodeID) int { return int(c.classOf[id]) }
+
+// Members returns the nodes of class ci (not copied; do not mutate).
+func (c *Classes) Members(ci int) []network.NodeID { return c.members[ci] }
+
+// NonSingleton returns the indices of classes with at least two members,
+// largest first.
+func (c *Classes) NonSingleton() []int {
+	var out []int
+	for ci, m := range c.members {
+		if len(m) >= 2 {
+			out = append(out, ci)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := len(c.members[out[i]]), len(c.members[out[j]])
+		if a != b {
+			return a > b
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Cost implements Eq. (5) of the paper: the worst-case number of SAT calls,
+// sum over classes of (size - 1).
+func (c *Classes) Cost() int {
+	cost := 0
+	for _, m := range c.members {
+		cost += len(m) - 1
+	}
+	return cost
+}
+
+// Clone returns an independent copy of the partition.
+func (c *Classes) Clone() *Classes {
+	cp := &Classes{
+		net:     c.net,
+		classOf: append([]int32(nil), c.classOf...),
+		members: make([][]network.NodeID, len(c.members)),
+	}
+	for i, m := range c.members {
+		cp.members[i] = append([]network.NodeID(nil), m...)
+	}
+	return cp
+}
+
+// Remove drops a node from its class (after it has been merged away during
+// sweeping). The class keeps its index; empty classes are tolerated.
+func (c *Classes) Remove(id network.NodeID) {
+	ci := c.classOf[id]
+	if ci < 0 {
+		return
+	}
+	m := c.members[ci]
+	for i, x := range m {
+		if x == id {
+			c.members[ci] = append(m[:i], m[i+1:]...)
+			break
+		}
+	}
+	c.classOf[id] = -1
+}

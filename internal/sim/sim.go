@@ -1,0 +1,169 @@
+// Package sim implements bit-parallel circuit simulation and equivalence
+// class management for SAT sweeping. Simulation packs 64 input vectors into
+// each machine word, evaluating every node of a LUT network with bitwise
+// operations over its ISOP cover.
+package sim
+
+import (
+	"math/rand"
+
+	"simgen/internal/network"
+)
+
+// Words is the simulation value of one node: bit b of Words[w] is the node's
+// output under input vector 64*w+b.
+type Words []uint64
+
+// Values holds simulation words for every node of a network, indexed by
+// NodeID.
+type Values []Words
+
+// Simulate evaluates the network on the given primary-input words.
+// inputs[i] holds the words for the i-th primary input (in network.PIs()
+// order) and must have nwords entries. The returned Values has one entry
+// per node.
+func Simulate(net *network.Network, inputs []Words, nwords int) Values {
+	if len(inputs) != net.NumPIs() {
+		panic("sim: input count does not match PI count")
+	}
+	vals := make(Values, net.NumNodes())
+	for i, pi := range net.PIs() {
+		if len(inputs[i]) != nwords {
+			panic("sim: input word count mismatch")
+		}
+		vals[pi] = inputs[i]
+	}
+	scratch := make(Words, nwords)
+	for id := 0; id < net.NumNodes(); id++ {
+		nd := net.Node(network.NodeID(id))
+		switch nd.Kind {
+		case network.KindPI:
+			// already set
+		case network.KindConst:
+			w := make(Words, nwords)
+			if nd.Func.IsConst1() {
+				for i := range w {
+					w[i] = ^uint64(0)
+				}
+			}
+			vals[id] = w
+		case network.KindLUT:
+			vals[id] = evalLUT(net, network.NodeID(id), vals, nwords, scratch)
+		}
+	}
+	return vals
+}
+
+// evalLUT computes the node's output words from its on-set cover:
+// OR over cubes of the AND of (possibly complemented) fanin words.
+func evalLUT(net *network.Network, id network.NodeID, vals Values, nwords int, scratch Words) Words {
+	on, _ := net.Covers(id)
+	nd := net.Node(id)
+	out := make(Words, nwords)
+	for _, cube := range on {
+		for w := range scratch {
+			scratch[w] = ^uint64(0)
+		}
+		for i, f := range nd.Fanins {
+			v, cared := cube.Has(i)
+			if !cared {
+				continue
+			}
+			fw := vals[f]
+			if v {
+				for w := 0; w < nwords; w++ {
+					scratch[w] &= fw[w]
+				}
+			} else {
+				for w := 0; w < nwords; w++ {
+					scratch[w] &^= fw[w]
+				}
+			}
+		}
+		for w := 0; w < nwords; w++ {
+			out[w] |= scratch[w]
+		}
+	}
+	return out
+}
+
+// SimulateVector evaluates the network on a single input vector; assign[i]
+// is the value of the i-th primary input. It returns one boolean per node.
+func SimulateVector(net *network.Network, assign []bool) []bool {
+	inputs := make([]Words, len(assign))
+	for i, v := range assign {
+		w := make(Words, 1)
+		if v {
+			w[0] = 1
+		}
+		inputs[i] = w
+	}
+	vals := Simulate(net, inputs, 1)
+	out := make([]bool, net.NumNodes())
+	for id := range out {
+		out[id] = vals[id][0]&1 != 0
+	}
+	return out
+}
+
+// RandomInputs draws nwords random words for every primary input.
+func RandomInputs(net *network.Network, nwords int, rng *rand.Rand) []Words {
+	inputs := make([]Words, net.NumPIs())
+	for i := range inputs {
+		w := make(Words, nwords)
+		for j := range w {
+			w[j] = rng.Uint64()
+		}
+		inputs[i] = w
+	}
+	return inputs
+}
+
+// PackVectors packs up to 64*ceil(len/64) single-bit vectors into words.
+// vectors[v][i] is the value of PI i under vector v. Unused trailing bit
+// positions replicate the last vector, which is harmless for class
+// refinement (duplicates never split classes incorrectly).
+func PackVectors(net *network.Network, vectors [][]bool) ([]Words, int) {
+	if len(vectors) == 0 {
+		return nil, 0
+	}
+	npi := net.NumPIs()
+	nwords := (len(vectors) + 63) / 64
+	inputs := make([]Words, npi)
+	for i := range inputs {
+		inputs[i] = make(Words, nwords)
+	}
+	for b := 0; b < nwords*64; b++ {
+		v := b
+		if v >= len(vectors) {
+			v = len(vectors) - 1
+		}
+		vec := vectors[v]
+		for i := 0; i < npi; i++ {
+			if vec[i] {
+				inputs[i][b/64] |= 1 << (uint(b) % 64)
+			}
+		}
+	}
+	return inputs, nwords
+}
+
+// Signature returns a hash of one node's simulation words, used for class
+// refinement.
+func Signature(w Words) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range w {
+		h ^= x
+		h *= 1099511628211
+	}
+	return h
+}
+
+// PO evaluates the driver words of each primary output.
+func PO(net *network.Network, vals Values) []Words {
+	out := make([]Words, net.NumPOs())
+	for i, po := range net.POs() {
+		out[i] = vals[po.Driver]
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"simgen/internal/network"
+)
+
+// Apply materializes the equivalences a sweeper proved: it builds a new
+// network in which every merged node's fanouts are redirected to the class
+// representative and dead logic is dropped — the "fraig" reduction that
+// sweeping-based optimization flows perform.
+//
+// The result computes the same PO functions as the original (the tests
+// verify this with CEC) with at most as many LUTs.
+func Apply(net *network.Network, rep func(network.NodeID) network.NodeID) *network.Network {
+	out := network.New(net.Name + "_swept")
+
+	// Mark nodes needed after redirection: walk back from the PO drivers'
+	// representatives through representative-resolved fanins.
+	needed := make([]bool, net.NumNodes())
+	var mark func(id network.NodeID)
+	mark = func(id network.NodeID) {
+		id = rep(id)
+		if needed[id] {
+			return
+		}
+		needed[id] = true
+		for _, f := range net.Node(id).Fanins {
+			mark(f)
+		}
+	}
+	for _, po := range net.POs() {
+		mark(po.Driver)
+	}
+
+	mapping := make([]network.NodeID, net.NumNodes())
+	for i := range mapping {
+		mapping[i] = network.NoNode
+	}
+	// All PIs first, in original order, so the interface is preserved even
+	// when merging makes some of them unused.
+	for _, pi := range net.PIs() {
+		mapping[pi] = out.AddPI(net.Node(pi).Name)
+	}
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := network.NodeID(id)
+		if !needed[nid] {
+			continue
+		}
+		nd := net.Node(nid)
+		switch nd.Kind {
+		case network.KindConst:
+			mapping[nid] = out.AddConst(nd.Func.IsConst1())
+		case network.KindLUT:
+			fanins := make([]network.NodeID, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				fanins[i] = mapping[rep(f)]
+			}
+			mapping[nid] = out.AddLUT(nd.Name, fanins, nd.Func)
+		}
+	}
+	for _, po := range net.POs() {
+		out.AddPO(po.Name, mapping[rep(po.Driver)])
+	}
+	return out
+}

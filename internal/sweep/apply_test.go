@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"testing"
+
+	"simgen/internal/core"
+	"simgen/internal/genbench"
+	"simgen/internal/network"
+)
+
+func TestApplyReducesAndPreservesFunction(t *testing.T) {
+	for _, name := range []string{"apex2", "misex3c", "alu4"} {
+		b, _ := genbench.ByName(name)
+		net, err := b.LUTNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := core.NewRunner(net, 1, 42)
+		gen := core.NewGenerator(net, core.StrategySimGen, 1)
+		runner.Run(gen, 10)
+		sw := New(net, runner.Classes, Options{})
+		res := sw.Run()
+
+		reduced := Apply(net, sw.Rep)
+		if err := reduced.Check(); err != nil {
+			t.Fatalf("%s: reduced network invalid: %v", name, err)
+		}
+		if reduced.NumPIs() != net.NumPIs() || reduced.NumPOs() != net.NumPOs() {
+			t.Fatalf("%s: interface changed", name)
+		}
+		if res.Proved > 0 && reduced.NumLUTs() >= net.NumLUTs() {
+			t.Fatalf("%s: %d proofs but no LUT reduction (%d vs %d)",
+				name, res.Proved, reduced.NumLUTs(), net.NumLUTs())
+		}
+		// The reduction must be functionally invisible.
+		cec, err := CEC(net, reduced, CECOptions{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cec.Equivalent {
+			t.Fatalf("%s: sweeping changed the function! cex=%v", name, cec.Counterexample)
+		}
+	}
+}
+
+func TestApplyIdentityWithoutMerges(t *testing.T) {
+	net, _, _ := buildRedundant()
+	same := Apply(net, func(id network.NodeID) network.NodeID { return id })
+	if same.NumLUTs() != net.NumLUTs() || same.NumPIs() != net.NumPIs() {
+		t.Fatal("identity apply changed the structure")
+	}
+}

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"errors"
+	"time"
+
+	"simgen/internal/bdd"
+	"simgen/internal/network"
+	"simgen/internal/sim"
+)
+
+// BDDResult reports the work performed by a BDD sweep.
+type BDDResult struct {
+	Checks     int           // equivalence queries answered
+	Time       time.Duration // cumulative BDD construction + query time
+	Proved     int
+	Disproved  int
+	Unresolved int  // pairs abandoned after a node-table blow-up
+	BlownUp    bool // the manager hit its node limit at least once
+	FinalCost  int
+	PeakNodes  int // BDD manager size at the end
+}
+
+// BDDSweeper verifies candidate equivalences by building canonical BDDs —
+// the pre-SAT approach the paper's related work starts from. Equivalence
+// queries are constant-time reference comparisons once the BDDs exist, but
+// construction can blow up exponentially (ErrNodeLimit), which is exactly
+// the trade-off that pushed the field to SAT sweeping.
+type BDDSweeper struct {
+	Net     *network.Network
+	Classes *sim.Classes
+	builder *bdd.Builder
+	repOf   map[network.NodeID]network.NodeID
+}
+
+// NewBDD creates a BDD sweeper; maxNodes bounds the node table (0 = the
+// manager default).
+func NewBDD(net *network.Network, classes *sim.Classes, maxNodes int) *BDDSweeper {
+	b := bdd.NewBuilder(net)
+	b.M.MaxNodes = maxNodes
+	return &BDDSweeper{
+		Net:     net,
+		Classes: classes,
+		builder: b,
+		repOf:   make(map[network.NodeID]network.NodeID),
+	}
+}
+
+// Rep returns the proven-equivalence representative of a node.
+func (s *BDDSweeper) Rep(id network.NodeID) network.NodeID {
+	for {
+		r, ok := s.repOf[id]
+		if !ok {
+			return id
+		}
+		id = r
+	}
+}
+
+// Run sweeps every non-singleton class.
+func (s *BDDSweeper) Run() BDDResult {
+	var res BDDResult
+	for {
+		progress := false
+		for _, ci := range s.Classes.NonSingleton() {
+			if s.sweepClass(ci, &res) {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	res.FinalCost = s.Classes.Cost()
+	res.PeakNodes = s.builder.M.NumNodes()
+	return res
+}
+
+func (s *BDDSweeper) sweepClass(ci int, res *BDDResult) bool {
+	worked := false
+	for {
+		members := s.Classes.Members(ci)
+		if len(members) < 2 {
+			return worked
+		}
+		rep, m := members[0], members[1]
+		start := time.Now()
+		cex, differ, err := s.builder.Counterexample(rep, m)
+		res.Time += time.Since(start)
+		res.Checks++
+		worked = true
+		switch {
+		case err != nil:
+			if !errors.Is(err, bdd.ErrNodeLimit) {
+				panic(err) // builder errors other than blow-up are bugs
+			}
+			res.BlownUp = true
+			res.Unresolved++
+			s.Classes.Remove(m)
+		case !differ:
+			res.Proved++
+			s.repOf[m] = rep
+			s.Classes.Remove(m)
+		default:
+			res.Disproved++
+			inputs, nwords := sim.PackVectors(s.Net, [][]bool{cex})
+			vals := sim.Simulate(s.Net, inputs, nwords)
+			s.Classes.Refine(vals)
+			if s.Classes.ClassOf(rep) == s.Classes.ClassOf(m) {
+				s.Classes.Remove(m)
+				res.Unresolved++
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"sync"
+	"time"
+
+	"simgen/internal/cnf"
+	"simgen/internal/network"
+	"simgen/internal/sat"
+	"simgen/internal/sim"
+)
+
+// RunParallel sweeps with the given number of worker goroutines, each
+// owning a private SAT solver and CNF encoder over the shared (read-only)
+// network. The class partition is the only shared mutable state and is
+// guarded by a mutex; SAT solving — the dominant cost — runs outside the
+// lock.
+//
+// Verdicts are identical to the sequential sweep (equivalences are
+// canonical facts), but the order of counterexample refinements differs
+// between runs, so per-run call counts may vary slightly.
+func (s *Sweeper) RunParallel(workers int) Result {
+	if workers <= 1 {
+		return s.Run()
+	}
+	// Warm the shared caches that are lazily built and not goroutine-safe:
+	// covers (row tables / CNF cubes) and fanout/level data.
+	for id := 0; id < s.Net.NumNodes(); id++ {
+		s.Net.Covers(network.NodeID(id))
+	}
+	s.Net.Fanouts(0)
+
+	var (
+		mu  sync.Mutex
+		res Result
+		wg  sync.WaitGroup
+		// Claims are keyed by the class representative (its smallest
+		// member), which is stable across refinements — class *indices*
+		// are not.
+		claimed = map[network.NodeID]bool{}
+	)
+
+	// nextPair pops an unresolved candidate pair under the lock, skipping
+	// classes another worker is already checking; it returns ok=false when
+	// no unclaimed non-singleton class remains.
+	nextPair := func() (rep, m network.NodeID, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range s.Classes.NonSingleton() {
+			members := s.Classes.Members(c)
+			if len(members) < 2 || claimed[members[0]] {
+				continue
+			}
+			claimed[members[0]] = true
+			return members[0], members[1], true
+		}
+		return 0, 0, false
+	}
+
+	type verdict struct {
+		rep, m network.NodeID
+		status sat.Status
+		cex    []bool
+		spent  time.Duration
+	}
+
+	// applyVerdict folds one SAT outcome into the shared state.
+	applyVerdict := func(v verdict) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.SATCalls++
+		res.SATTime += v.spent
+		// The pair may have been split meanwhile by another worker's
+		// counterexample; the verdict is still valid (equivalence and
+		// difference are semantic facts, not partition states).
+		switch v.status {
+		case sat.Unsat:
+			if s.Classes.ClassOf(v.m) >= 0 && s.Classes.ClassOf(v.m) == s.Classes.ClassOf(v.rep) {
+				s.repOf[v.m] = v.rep
+				s.Classes.Remove(v.m)
+			}
+			res.Proved++
+		case sat.Sat:
+			res.Disproved++
+			res.CexVectors++
+			inputs, nwords := sim.PackVectors(s.Net, [][]bool{v.cex})
+			vals := sim.Simulate(s.Net, inputs, nwords)
+			s.Classes.Refine(vals)
+			if s.Classes.ClassOf(v.rep) >= 0 && s.Classes.ClassOf(v.rep) == s.Classes.ClassOf(v.m) {
+				s.Classes.Remove(v.m)
+				res.Unresolved++
+			}
+		default:
+			s.Classes.Remove(v.m)
+			res.Unresolved++
+		}
+	}
+
+	work := func() {
+		defer wg.Done()
+		solver := sat.New()
+		solver.ConflictBudget = s.Opts.ConflictBudget
+		enc := cnf.NewEncoder(s.Net, solver)
+		for {
+			rep, m, ok := nextPair()
+			if !ok {
+				return
+			}
+			enc.EncodeCone(rep)
+			enc.EncodeCone(m)
+			x := enc.XorLit(enc.Lit(rep, false), enc.Lit(m, false))
+			start := time.Now()
+			status := solver.Solve(x)
+			spent := time.Since(start)
+			var cex []bool
+			if status == sat.Sat {
+				cex = enc.Model()
+			}
+			applyVerdict(verdict{rep: rep, m: m, status: status, cex: cex, spent: spent})
+			// Teach this worker's solver the proven equality.
+			if status == sat.Unsat {
+				solver.AddClause(enc.Lit(rep, true), enc.Lit(m, false))
+				solver.AddClause(enc.Lit(rep, false), enc.Lit(m, true))
+			}
+			// Release the claim so the class's remaining members are
+			// processed (possibly by another worker).
+			mu.Lock()
+			delete(claimed, rep)
+			mu.Unlock()
+		}
+	}
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go work()
+	}
+	wg.Wait()
+	res.FinalCost = s.Classes.Cost()
+	return res
+}

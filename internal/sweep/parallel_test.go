@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"testing"
+
+	"simgen/internal/core"
+	"simgen/internal/genbench"
+	"simgen/internal/network"
+	"simgen/internal/sim"
+)
+
+func TestParallelSweepVerdictsMatchSequential(t *testing.T) {
+	for _, name := range []string{"apex2", "pdc"} {
+		b, _ := genbench.ByName(name)
+
+		netSeq, _ := b.LUTNetwork()
+		runSeq := core.NewRunner(netSeq, 1, 42)
+		seq := New(netSeq, runSeq.Classes, Options{})
+		seqRes := seq.Run()
+
+		netPar, _ := b.LUTNetwork()
+		runPar := core.NewRunner(netPar, 1, 42)
+		par := New(netPar, runPar.Classes, Options{})
+		parRes := par.RunParallel(4)
+
+		// The networks are identical (deterministic generator), so the
+		// proven-equivalence relations must agree node by node.
+		if netSeq.NumNodes() != netPar.NumNodes() {
+			t.Fatal("generator not deterministic")
+		}
+		for id := 0; id < netSeq.NumNodes(); id++ {
+			nid := network.NodeID(id)
+			if (seq.Rep(nid) == nid) != (par.Rep(nid) == nid) {
+				t.Fatalf("%s: node %d merged in one engine only", name, nid)
+			}
+		}
+		if seqRes.Proved != parRes.Proved {
+			t.Fatalf("%s: proofs differ: %d vs %d", name, seqRes.Proved, parRes.Proved)
+		}
+		// Both must fully resolve the classes.
+		if parRes.FinalCost != seqRes.FinalCost {
+			t.Fatalf("%s: final cost differs: %d vs %d", name, seqRes.FinalCost, parRes.FinalCost)
+		}
+	}
+}
+
+func TestParallelSweepSoundness(t *testing.T) {
+	// Merged nodes must be equivalent under random simulation.
+	b, _ := genbench.ByName("spla")
+	net, _ := b.LUTNetwork()
+	run := core.NewRunner(net, 1, 7)
+	sw := New(net, run.Classes, Options{})
+	sw.RunParallel(8)
+	vals := sim.Simulate(net, sim.RandomInputs(net, 4, newRng(3)), 4)
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := network.NodeID(id)
+		rep := sw.Rep(nid)
+		if rep == nid {
+			continue
+		}
+		for w := 0; w < 4; w++ {
+			if vals[rep][w] != vals[nid][w] {
+				t.Fatalf("merged pair %d/%d differs under simulation", nid, rep)
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	net, _, _ := buildRedundant()
+	run := core.NewRunner(net, 1, 5)
+	sw := New(net, run.Classes, Options{})
+	res := sw.RunParallel(1)
+	if res.SATCalls == 0 {
+		t.Fatal("no work done")
+	}
+}

@@ -1,0 +1,168 @@
+// Package sweep implements SAT sweeping — the host application of SimGen
+// (Fig. 2 of the paper). Candidate equivalence classes produced by
+// simulation are verified pairwise with the SAT solver: UNSAT miters prove
+// node equivalences (which are merged and fed back to the solver as
+// equality clauses), SAT miters yield counterexample vectors that are
+// simulated to split the remaining classes.
+//
+// The package also provides combinational equivalence checking (CEC) of two
+// networks on top of the sweeping engine.
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"simgen/internal/cnf"
+	"simgen/internal/network"
+	"simgen/internal/sat"
+	"simgen/internal/sim"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// ConflictBudget bounds each SAT call; 0 means unlimited. Calls that
+	// exhaust the budget leave the pair unresolved.
+	ConflictBudget int64
+	// MaxPairs bounds the total number of SAT calls; 0 means unlimited.
+	MaxPairs int
+}
+
+// Result reports the work performed by a sweep.
+type Result struct {
+	SATCalls   int           // number of Solve invocations
+	SATTime    time.Duration // cumulative Solve wall time
+	Proved     int           // pairs proven equivalent (merged)
+	Disproved  int           // pairs split by a counterexample
+	Unresolved int           // pairs abandoned on budget
+	CexVectors int           // counterexamples re-simulated
+	FinalCost  int           // Eq. (5) cost after sweeping
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("calls=%d time=%v proved=%d disproved=%d unresolved=%d",
+		r.SATCalls, r.SATTime, r.Proved, r.Disproved, r.Unresolved)
+}
+
+// Sweeper verifies the candidate equivalences of a class partition.
+type Sweeper struct {
+	Net     *network.Network
+	Classes *sim.Classes
+	Opts    Options
+
+	solver *sat.Solver
+	enc    *cnf.Encoder
+	repOf  map[network.NodeID]network.NodeID // proven-equivalent representative
+}
+
+// New creates a sweeper over the network and its current classes.
+func New(net *network.Network, classes *sim.Classes, opts Options) *Sweeper {
+	solver := sat.New()
+	solver.ConflictBudget = opts.ConflictBudget
+	return &Sweeper{
+		Net:     net,
+		Classes: classes,
+		Opts:    opts,
+		solver:  solver,
+		enc:     cnf.NewEncoder(net, solver),
+		repOf:   make(map[network.NodeID]network.NodeID),
+	}
+}
+
+// Rep returns the proven-equivalence representative of a node (itself when
+// nothing was merged into it).
+func (s *Sweeper) Rep(id network.NodeID) network.NodeID {
+	for {
+		r, ok := s.repOf[id]
+		if !ok {
+			return id
+		}
+		id = r
+	}
+}
+
+// Run sweeps every non-singleton class until each candidate pair is proven,
+// disproved, or abandoned on budget. It returns the accumulated result.
+func (s *Sweeper) Run() Result {
+	var res Result
+	for {
+		progress := false
+		for _, ci := range s.Classes.NonSingleton() {
+			if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
+				res.FinalCost = s.Classes.Cost()
+				return res
+			}
+			if s.sweepClass(ci, &res) {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	res.FinalCost = s.Classes.Cost()
+	return res
+}
+
+// sweepClass processes one class; it reports whether any SAT call was made.
+func (s *Sweeper) sweepClass(ci int, res *Result) bool {
+	worked := false
+	for {
+		members := s.Classes.Members(ci)
+		if len(members) < 2 {
+			return worked
+		}
+		rep := members[0]
+		m := members[1]
+		if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
+			return worked
+		}
+		status, cex := s.checkPair(rep, m, res)
+		worked = true
+		switch status {
+		case sat.Unsat:
+			// Proven equivalent: merge m into rep, teach the solver.
+			s.repOf[m] = rep
+			s.Classes.Remove(m)
+			s.solver.AddClause(s.enc.Lit(rep, true), s.enc.Lit(m, false))
+			s.solver.AddClause(s.enc.Lit(rep, false), s.enc.Lit(m, true))
+			res.Proved++
+		case sat.Sat:
+			// Counterexample: simulate and refine all classes.
+			res.Disproved++
+			res.CexVectors++
+			inputs, nwords := sim.PackVectors(s.Net, [][]bool{cex})
+			vals := sim.Simulate(s.Net, inputs, nwords)
+			s.Classes.Refine(vals)
+			if s.Classes.ClassOf(rep) == s.Classes.ClassOf(m) {
+				// Defensive: a counterexample must separate the pair; if
+				// it somehow did not, drop the member to guarantee
+				// termination.
+				s.Classes.Remove(m)
+				res.Unresolved++
+			}
+		default:
+			// Budget exhausted: drop the member from its class so the
+			// sweep terminates; it stays unproven.
+			s.Classes.Remove(m)
+			res.Unresolved++
+		}
+	}
+}
+
+// checkPair runs one SAT call asking whether the two nodes can differ.
+func (s *Sweeper) checkPair(a, b network.NodeID, res *Result) (sat.Status, []bool) {
+	s.enc.EncodeCone(a)
+	s.enc.EncodeCone(b)
+	x := s.enc.XorLit(s.enc.Lit(a, false), s.enc.Lit(b, false))
+	start := time.Now()
+	status := s.solver.Solve(x)
+	res.SATTime += time.Since(start)
+	res.SATCalls++
+	var cex []bool
+	if status == sat.Sat {
+		cex = s.enc.Model()
+	}
+	// x was only assumed, never asserted: later calls are unconstrained.
+	return status, cex
+}

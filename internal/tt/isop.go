@@ -1,0 +1,63 @@
+package tt
+
+// ISOP computes an irredundant sum-of-products cover of the function using
+// the Minato–Morreale algorithm. The returned cover covers exactly the
+// on-set of f: Cover.Table(f.NumVars()).Equal(f) always holds.
+func ISOP(f Table) Cover {
+	cover, _ := isop(f, f, f.nvars-1)
+	return cover
+}
+
+// OnOffCovers returns ISOP covers of the on-set and the off-set of f. These
+// are the row tables used by SimGen: a row of the on cover is an input
+// pattern (with don't-cares) forcing the output to 1, and symmetrically for
+// the off cover.
+func OnOffCovers(f Table) (on, off Cover) {
+	return ISOP(f), ISOP(f.Not())
+}
+
+// isop computes an SOP cover g with L <= g <= U, considering variables
+// 0..top. It returns the cover and its truth table.
+func isop(L, U Table, top int) (Cover, Table) {
+	if L.IsConst0() {
+		return nil, Const(L.nvars, false)
+	}
+	if U.IsConst1() {
+		return Cover{{}}, Const(L.nvars, true)
+	}
+	// Find the highest variable on which either bound actually depends.
+	v := top
+	for v >= 0 && !L.HasVar(v) && !U.HasVar(v) {
+		v--
+	}
+	if v < 0 {
+		// L is a non-zero constant and U is not constant 1: impossible
+		// when L <= U, so L must be constant 1 here.
+		return Cover{{}}, Const(L.nvars, true)
+	}
+
+	L0, L1 := L.Cofactor(v, false), L.Cofactor(v, true)
+	U0, U1 := U.Cofactor(v, false), U.Cofactor(v, true)
+
+	// Cubes that must contain literal !v: needed where L0 is on but U1
+	// cannot cover.
+	c0, g0 := isop(L0.AndNot(U1), U0, v-1)
+	// Cubes that must contain literal v.
+	c1, g1 := isop(L1.AndNot(U0), U1, v-1)
+	// Remaining on-set, coverable without a v literal.
+	Lnew := L0.AndNot(g0).Or(L1.AndNot(g1))
+	cs, gs := isop(Lnew, U0.And(U1), v-1)
+
+	cover := make(Cover, 0, len(c0)+len(c1)+len(cs))
+	for _, c := range c0 {
+		cover = append(cover, c.WithLiteral(v, false))
+	}
+	for _, c := range c1 {
+		cover = append(cover, c.WithLiteral(v, true))
+	}
+	cover = append(cover, cs...)
+
+	nv := Var(L.nvars, v)
+	g := g0.AndNot(nv).Or(g1.And(nv)).Or(gs)
+	return cover, g
+}

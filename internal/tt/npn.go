@@ -1,0 +1,142 @@
+package tt
+
+// NPN canonization: two functions are NPN-equivalent when one can be
+// obtained from the other by Negating inputs, Permuting inputs, and/or
+// Negating the output. Cut rewriting caches one optimal structure per NPN
+// class instead of per function, shrinking the library by orders of
+// magnitude.
+
+// NPNTransform describes how to map a function onto its canonical form:
+// first negate the inputs in InputNeg, then route old input i to position
+// Perm[i], then negate the output when OutputNeg is set.
+type NPNTransform struct {
+	Perm      []int
+	InputNeg  uint32
+	OutputNeg bool
+}
+
+// Apply performs the transform on a table.
+func (tr NPNTransform) Apply(f Table) Table {
+	g := f
+	for i := 0; i < f.NumVars(); i++ {
+		if tr.InputNeg&(1<<uint(i)) != 0 {
+			g = g.flipVar(i)
+		}
+	}
+	g = g.Permute(tr.Perm)
+	if tr.OutputNeg {
+		g = g.Not()
+	}
+	return g
+}
+
+// flipVar exchanges the two cofactors of variable i (input negation).
+func (t Table) flipVar(i int) Table {
+	r := New(t.nvars)
+	for m := 0; m < t.NumMinterms(); m++ {
+		if t.Bit(m) {
+			r.SetBit(m^(1<<uint(i)), true)
+		}
+	}
+	return r
+}
+
+// NPNCanon returns the lexicographically smallest table NPN-equivalent to f
+// together with the transform that produces it. Exhaustive search: suitable
+// for small functions (the cut-rewriting use case is 4 inputs, 768
+// candidates); refuse above 5 variables where exhaustion explodes.
+func NPNCanon(f Table) (Table, NPNTransform) {
+	n := f.NumVars()
+	if n > 5 {
+		panic("tt: NPNCanon limited to 5 variables")
+	}
+	best := f.Clone()
+	bestTr := NPNTransform{Perm: identityPerm(n)}
+	perms := permutations(n)
+	for _, perm := range perms {
+		for neg := uint32(0); neg < 1<<uint(n); neg++ {
+			g := f
+			for i := 0; i < n; i++ {
+				if neg&(1<<uint(i)) != 0 {
+					g = g.flipVar(i)
+				}
+			}
+			g = g.Permute(perm)
+			for _, outNeg := range []bool{false, true} {
+				h := g
+				if outNeg {
+					h = g.Not()
+				}
+				if tableLess(h, best) {
+					best = h
+					bestTr = NPNTransform{
+						Perm:      append([]int(nil), perm...),
+						InputNeg:  neg,
+						OutputNeg: outNeg,
+					}
+				}
+			}
+		}
+	}
+	return best, bestTr
+}
+
+// tableLess orders tables lexicographically by words.
+func tableLess(a, b Table) bool {
+	for i := len(a.words) - 1; i >= 0; i-- {
+		if a.words[i] != b.words[i] {
+			return a.words[i] < b.words[i]
+		}
+	}
+	return false
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// permutations enumerates all permutations of [0,n).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used uint32)
+	rec = func(cur []int, used uint32) {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used&(1<<uint(i)) != 0 {
+				continue
+			}
+			rec(append(cur, i), used|1<<uint(i))
+		}
+	}
+	rec(nil, 0)
+	return out
+}
+
+// Invert returns the transform mapping the canonical form back to f.
+func (tr NPNTransform) Invert() NPNTransform {
+	n := len(tr.Perm)
+	inv := NPNTransform{Perm: make([]int, n), OutputNeg: tr.OutputNeg}
+	for i, p := range tr.Perm {
+		inv.Perm[p] = i
+	}
+	// The forward order is negate-then-permute; the inverse is
+	// permute-back-then-negate. Rewritten in negate-then-permute form, the
+	// negation mask travels through the permutation: original input i maps
+	// to canonical position perm^{-1}(i), so its negation bit does too.
+	for i := 0; i < n; i++ {
+		if tr.InputNeg&(1<<uint(i)) != 0 {
+			inv.InputNeg |= 1 << uint(inv.Perm[i])
+		}
+	}
+	return inv
+}

@@ -1,0 +1,377 @@
+// Package tt implements truth tables and cube covers for small Boolean
+// functions (up to 16 variables). Truth tables are bit vectors packed into
+// 64-bit words: bit m of the table is the function value on minterm m, where
+// bit i of m is the value of variable i.
+//
+// The package also computes irredundant sum-of-product covers (ISOP) using
+// the Minato–Morreale algorithm. Cover cubes are the "truth-table rows with
+// don't-cares" that SimGen's implication and decision procedures operate on.
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxVars is the largest supported number of variables.
+const MaxVars = 16
+
+// Table is a complete truth table over NumVars variables.
+type Table struct {
+	nvars int
+	words []uint64
+}
+
+func wordCount(nvars int) int {
+	if nvars <= 6 {
+		return 1
+	}
+	return 1 << (nvars - 6)
+}
+
+// lowMask returns the mask of meaningful bits in the (single) word of a
+// table with nvars <= 6 variables.
+func lowMask(nvars int) uint64 {
+	if nvars >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << nvars)) - 1
+}
+
+// New returns the constant-0 table over nvars variables.
+func New(nvars int) Table {
+	if nvars < 0 || nvars > MaxVars {
+		panic(fmt.Sprintf("tt: invalid variable count %d", nvars))
+	}
+	return Table{nvars: nvars, words: make([]uint64, wordCount(nvars))}
+}
+
+// Const returns the constant table with the given value.
+func Const(nvars int, v bool) Table {
+	t := New(nvars)
+	if v {
+		for i := range t.words {
+			t.words[i] = ^uint64(0)
+		}
+		t.words[0] &= lowMask(nvars)
+		if nvars >= 6 {
+			t.words[0] = ^uint64(0)
+		}
+	}
+	return t
+}
+
+// varMasks[i] is the single-word truth table of variable i, for i < 6.
+var varMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// Var returns the truth table of the projection function x_i.
+func Var(nvars, i int) Table {
+	if i < 0 || i >= nvars {
+		panic(fmt.Sprintf("tt: variable %d out of range for %d vars", i, nvars))
+	}
+	t := New(nvars)
+	if i < 6 {
+		m := varMasks[i]
+		for w := range t.words {
+			t.words[w] = m
+		}
+		t.words[0] &= lowMask(nvars)
+		if nvars >= 6 {
+			t.words[0] = m
+		}
+	} else {
+		// Variable i toggles every 2^(i-6) words.
+		period := 1 << (i - 6)
+		for w := range t.words {
+			if w&period != 0 {
+				t.words[w] = ^uint64(0)
+			}
+		}
+	}
+	return t
+}
+
+// FromWords builds a table from raw words; the slice is copied.
+func FromWords(nvars int, words []uint64) Table {
+	t := New(nvars)
+	copy(t.words, words)
+	t.words[0] &= lowMask(nvars)
+	return t
+}
+
+// FromHex parses a hexadecimal truth-table string (most significant digit
+// first), as used in BLIF-like dumps.
+func FromHex(nvars int, s string) (Table, error) {
+	t := New(nvars)
+	bitsTotal := 1 << nvars
+	digits := (bitsTotal + 3) / 4
+	if len(s) != digits {
+		return t, fmt.Errorf("tt: hex string %q has %d digits, want %d for %d vars", s, len(s), digits, nvars)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[len(s)-1-i]
+		var v uint64
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v = uint64(c-'A') + 10
+		default:
+			return t, fmt.Errorf("tt: invalid hex digit %q", c)
+		}
+		t.words[i/16] |= v << (4 * (i % 16))
+	}
+	t.words[0] &= lowMask(nvars)
+	return t, nil
+}
+
+// NumVars returns the number of variables.
+func (t Table) NumVars() int { return t.nvars }
+
+// Words returns the underlying words (not copied; do not mutate).
+func (t Table) Words() []uint64 { return t.words }
+
+// NumMinterms returns 2^NumVars.
+func (t Table) NumMinterms() int { return 1 << t.nvars }
+
+// Bit reports the value of the function on minterm m.
+func (t Table) Bit(m int) bool {
+	return t.words[m>>6]&(1<<(uint(m)&63)) != 0
+}
+
+// SetBit sets the function value on minterm m.
+func (t *Table) SetBit(m int, v bool) {
+	if v {
+		t.words[m>>6] |= 1 << (uint(m) & 63)
+	} else {
+		t.words[m>>6] &^= 1 << (uint(m) & 63)
+	}
+}
+
+// Eval evaluates the function on the assignment whose bit i is the value of
+// variable i.
+func (t Table) Eval(assignment uint32) bool {
+	return t.Bit(int(assignment) & (t.NumMinterms() - 1))
+}
+
+// Clone returns a deep copy.
+func (t Table) Clone() Table {
+	u := New(t.nvars)
+	copy(u.words, t.words)
+	return u
+}
+
+func (t Table) binop(u Table, f func(a, b uint64) uint64) Table {
+	if t.nvars != u.nvars {
+		panic("tt: variable count mismatch")
+	}
+	r := New(t.nvars)
+	for i := range r.words {
+		r.words[i] = f(t.words[i], u.words[i])
+	}
+	r.words[0] &= lowMask(t.nvars)
+	return r
+}
+
+// And returns t AND u.
+func (t Table) And(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a & b }) }
+
+// Or returns t OR u.
+func (t Table) Or(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a | b }) }
+
+// Xor returns t XOR u.
+func (t Table) Xor(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a ^ b }) }
+
+// AndNot returns t AND NOT u.
+func (t Table) AndNot(u Table) Table { return t.binop(u, func(a, b uint64) uint64 { return a &^ b }) }
+
+// Not returns the complement of t.
+func (t Table) Not() Table {
+	r := New(t.nvars)
+	for i := range r.words {
+		r.words[i] = ^t.words[i]
+	}
+	r.words[0] &= lowMask(t.nvars)
+	if t.nvars >= 6 {
+		r.words[0] = ^t.words[0]
+	}
+	return r
+}
+
+// IsConst0 reports whether t is the constant 0 function.
+func (t Table) IsConst0() bool {
+	for _, w := range t.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConst1 reports whether t is the constant 1 function.
+func (t Table) IsConst1() bool {
+	if t.nvars < 6 {
+		return t.words[0] == lowMask(t.nvars)
+	}
+	for _, w := range t.words {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether t and u denote the same function.
+func (t Table) Equal(u Table) bool {
+	if t.nvars != u.nvars {
+		return false
+	}
+	for i := range t.words {
+		if t.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOnes returns the number of minterms on which the function is 1.
+func (t Table) CountOnes() int {
+	n := 0
+	for _, w := range t.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Cofactor returns the cofactor of t with variable i fixed to val.
+// The result is still expressed over nvars variables (variable i becomes
+// irrelevant).
+func (t Table) Cofactor(i int, val bool) Table {
+	if i < 0 || i >= t.nvars {
+		panic(fmt.Sprintf("tt: cofactor variable %d out of range", i))
+	}
+	r := New(t.nvars)
+	if i < 6 {
+		shift := uint(1) << uint(i)
+		m := varMasks[i]
+		for w := range t.words {
+			if val {
+				hi := t.words[w] & m
+				r.words[w] = hi | hi>>shift
+			} else {
+				lo := t.words[w] &^ m
+				r.words[w] = lo | lo<<shift
+			}
+		}
+	} else {
+		period := 1 << (i - 6)
+		for w := range t.words {
+			src := w
+			if val {
+				src |= period
+			} else {
+				src &^= period
+			}
+			r.words[w] = t.words[src]
+		}
+	}
+	r.words[0] &= lowMask(t.nvars)
+	return r
+}
+
+// HasVar reports whether the function depends on variable i.
+func (t Table) HasVar(i int) bool {
+	return !t.Cofactor(i, false).Equal(t.Cofactor(i, true))
+}
+
+// SupportMask returns a bitmask of the variables the function depends on.
+func (t Table) SupportMask() uint32 {
+	var m uint32
+	for i := 0; i < t.nvars; i++ {
+		if t.HasVar(i) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// SupportSize returns the number of variables the function depends on.
+func (t Table) SupportSize() int { return bits.OnesCount32(t.SupportMask()) }
+
+// Permute returns the table with variables renamed: new variable i takes the
+// role of old variable perm[i]. perm must be a permutation of [0,nvars).
+func (t Table) Permute(perm []int) Table {
+	if len(perm) != t.nvars {
+		panic("tt: permutation length mismatch")
+	}
+	r := New(t.nvars)
+	for m := 0; m < t.NumMinterms(); m++ {
+		if !t.Bit(m) {
+			continue
+		}
+		nm := 0
+		for ni, oi := range perm {
+			if m&(1<<uint(oi)) != 0 {
+				nm |= 1 << uint(ni)
+			}
+		}
+		r.SetBit(nm, true)
+	}
+	return r
+}
+
+// Expand re-expresses the function over a larger variable set: variable i of
+// t becomes variable vars[i] of the result, which has nvars variables.
+func (t Table) Expand(nvars int, vars []int) Table {
+	if len(vars) != t.nvars {
+		panic("tt: expand variable list mismatch")
+	}
+	r := Const(nvars, false)
+	for m := 0; m < 1<<nvars; m++ {
+		sub := 0
+		for i, v := range vars {
+			if m&(1<<uint(v)) != 0 {
+				sub |= 1 << uint(i)
+			}
+		}
+		if t.Bit(sub) {
+			r.SetBit(m, true)
+		}
+	}
+	return r
+}
+
+// Hash returns a 64-bit FNV-style hash of the function.
+func (t Table) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	h ^= uint64(t.nvars)
+	h *= 1099511628211
+	for _, w := range t.words {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the table as a binary string, minterm 2^n-1 first.
+func (t Table) String() string {
+	var b strings.Builder
+	for m := t.NumMinterms() - 1; m >= 0; m-- {
+		if t.Bit(m) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
