@@ -1,0 +1,42 @@
+GO ?= go
+
+# Tier-1 gate: every change must pass this.
+.PHONY: check
+check: vet build test smoke
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test -race ./...
+
+# Deadline smoke test: sweeping the SAT-hard "square" benchmark under a
+# 100ms wall-clock budget must come back promptly with a partial result and
+# the undecided exit code (3), in both sequential and parallel mode.
+.PHONY: smoke
+smoke:
+	@$(GO) build -o .smoke-sweep ./cmd/sweep
+	@for workers in 1 4; do \
+		./.smoke-sweep -benchmark square -method none -timeout 100ms -workers $$workers >/dev/null; \
+		code=$$?; \
+		if [ $$code -ne 3 ]; then \
+			echo "smoke: workers=$$workers: expected exit 3 (undecided on timeout), got $$code"; \
+			exit 1; \
+		fi; \
+		echo "smoke: workers=$$workers: ok (exit 3, partial result)"; \
+	done
+	@rm -f .smoke-sweep
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem
+
+.PHONY: experiments
+experiments:
+	$(GO) run ./cmd/experiments all

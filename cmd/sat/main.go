@@ -1,7 +1,8 @@
 // Command sat is a standalone DIMACS CNF solver built on the repository's
 // CDCL engine. It prints "SAT" with a model line ("v ..." in the usual
 // competition format) or "UNSAT", and exits with the conventional status
-// codes 10 (SAT), 20 (UNSAT) and 1 (error / unknown).
+// codes 10 (SAT) and 20 (UNSAT), plus 1 (error), 2 (usage), and
+// 3 (undecided: conflict/propagation budget exhausted or -timeout hit).
 //
 // Usage:
 //
@@ -14,17 +15,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"simgen/internal/sat"
 )
 
 func main() {
 	var (
-		budget = flag.Int64("conflict-budget", 0, "conflict limit (0 = unlimited)")
-		stats  = flag.Bool("stats", false, "print solver statistics")
+		budget     = flag.Int64("conflict-budget", 0, "conflict limit (0 = unlimited)")
+		propBudget = flag.Int64("propagation-budget", 0, "propagation limit (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline (0 = none)")
+		stats      = flag.Bool("stats", false, "print solver statistics")
 	)
 	flag.Parse()
 
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "sat: -timeout must be positive, got %v\n", *timeout)
+		os.Exit(2)
+	}
 	var in io.Reader = os.Stdin
 	if flag.NArg() == 1 {
 		f, err := os.Open(flag.Arg(0))
@@ -36,7 +44,7 @@ func main() {
 		in = f
 	} else if flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "usage: sat [flags] [problem.cnf]")
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	solver, nvars, err := sat.ParseDIMACS(in)
@@ -45,6 +53,11 @@ func main() {
 		os.Exit(1)
 	}
 	solver.ConflictBudget = *budget
+	solver.PropagationBudget = *propBudget
+	if *timeout > 0 {
+		timer := time.AfterFunc(*timeout, solver.Interrupt)
+		defer timer.Stop()
+	}
 	status := solver.Solve()
 	if *stats {
 		st := solver.Stats
@@ -68,7 +81,10 @@ func main() {
 		fmt.Println("s UNSATISFIABLE")
 		os.Exit(20)
 	default:
+		if solver.Interrupted() {
+			fmt.Println("c timeout")
+		}
 		fmt.Println("s UNKNOWN")
-		os.Exit(1)
+		os.Exit(3)
 	}
 }

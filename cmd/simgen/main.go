@@ -7,9 +7,13 @@
 //
 //	simgen [flags] circuit.blif
 //	simgen [flags] -benchmark apex2
+//
+// Exit codes: 0 success, 1 error, 2 usage error, 3 the -timeout deadline
+// cut the run short (partial per-iteration results are still printed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +32,20 @@ func main() {
 		list       = flag.Bool("list", false, "list built-in benchmarks and exit")
 		dump       = flag.String("dump-patterns", "", "write all generated vectors to this pattern file")
 		replay     = flag.String("replay", "", "replay vectors from a pattern file instead of generating")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for generation (0 = none)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "simgen: -timeout must be positive, got %v\n", *timeout)
+		os.Exit(2)
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, b := range simgen.Benchmarks() {
@@ -41,7 +57,7 @@ func main() {
 	net, err := loadCircuit(*benchmark, flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	run := simgen.NewRunner(net, *randRounds, *seed)
@@ -60,31 +76,49 @@ func main() {
 	src, err := makeSource(net, *method, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	var dumped [][]bool
 	if *dump != "" {
 		src = &recordingSource{inner: src, sink: &dumped}
 	}
+	completed := 0
 	for i := 0; i < *iterations; i++ {
-		st := run.Step(src, i)
+		st, ok := run.StepContext(ctx, src, i)
+		if !ok {
+			break
+		}
+		completed++
 		fmt.Printf("iter %3d  cost %6d  vectors %3d  elapsed %v\n",
 			st.Iteration, st.Cost, st.Vectors, st.Elapsed)
 	}
-	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
-	if *dump != "" {
-		f, err := os.Create(*dump)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := simgen.WritePatterns(f, dumped); err != nil {
-			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d patterns to %s\n", len(dumped), *dump)
+	if completed < *iterations && ctx.Err() != nil {
+		fmt.Printf("timeout after %d/%d iterations; partial cost: %d (%s)\n",
+			completed, *iterations, run.Classes.Cost(), src.Name())
+		flushPatterns(*dump, dumped)
+		os.Exit(3)
 	}
+	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
+	flushPatterns(*dump, dumped)
+}
+
+// flushPatterns writes the recorded vectors (including partial runs cut
+// short by -timeout) when -dump-patterns was given.
+func flushPatterns(path string, dumped [][]bool) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := simgen.WritePatterns(f, dumped); err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d patterns to %s\n", len(dumped), path)
 }
 
 // recordingSource tees generated vectors into a slice for -dump-patterns.

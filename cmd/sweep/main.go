@@ -6,43 +6,98 @@
 //	sweep [flags] circuit.blif          # sweep: prove/disprove node pairs
 //	sweep [flags] a.blif b.blif         # CEC: compare two circuits
 //	sweep [flags] -benchmark apex2      # sweep a built-in benchmark
+//
+// Exit codes: 0 success (sweep finished / circuits equivalent),
+// 1 verification failure (circuits inequivalent) or runtime error,
+// 2 usage error, 3 undecided (deadline or budgets exhausted; partial
+// results are printed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"simgen"
 )
 
+// Exit codes.
+const (
+	exitOK        = 0
+	exitFail      = 1
+	exitUsage     = 2
+	exitUndecided = 3
+)
+
+type config struct {
+	method      string
+	engine      string
+	reduce      string
+	iterations  int
+	randRounds  int
+	seed        int64
+	budget      int64
+	propBudget  int64
+	timeout     time.Duration
+	escalate    int
+	maxEscalate int
+	bddFallback bool
+	bddNodes    int
+	workers     int
+}
+
 func main() {
 	var (
-		benchmark  = flag.String("benchmark", "", "sweep a named built-in benchmark")
-		method     = flag.String("method", "simgen", "guided simulation before sweeping: simgen|revs|none")
-		iterations = flag.Int("iterations", 20, "guided iterations")
-		randRounds = flag.Int("random-rounds", 1, "initial random rounds")
-		seed       = flag.Int64("seed", 1, "random seed")
-		budget     = flag.Int64("conflict-budget", 0, "SAT conflict budget per call (0 = unlimited)")
-		engine     = flag.String("engine", "sat", "verification engine: sat|bdd")
-		reduce     = flag.String("reduce", "", "write the swept (merged) network to this BLIF file")
+		benchmark = flag.String("benchmark", "", "sweep a named built-in benchmark")
+		cfg       config
 	)
+	flag.StringVar(&cfg.method, "method", "simgen", "guided simulation before sweeping: simgen|revs|none")
+	flag.IntVar(&cfg.iterations, "iterations", 20, "guided iterations")
+	flag.IntVar(&cfg.randRounds, "random-rounds", 1, "initial random rounds")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.Int64Var(&cfg.budget, "conflict-budget", 0, "SAT conflict budget per call (0 = unlimited)")
+	flag.Int64Var(&cfg.propBudget, "propagation-budget", 0, "SAT propagation budget per call (0 = unlimited)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock deadline for the whole run (0 = none)")
+	flag.IntVar(&cfg.escalate, "escalate", 4, "budget multiplier per escalation rung")
+	flag.IntVar(&cfg.maxEscalate, "max-escalations", 2, "escalation rungs for budget-exhausted pairs (0 = drop immediately)")
+	flag.BoolVar(&cfg.bddFallback, "bdd-fallback", false, "retry pairs that exhaust the final rung on the BDD engine")
+	flag.IntVar(&cfg.bddNodes, "bdd-nodes", 1<<20, "BDD fallback node limit (0 = manager default)")
+	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers")
+	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd")
+	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
 	flag.Parse()
+
+	ctx := context.Background()
+	if cfg.timeout < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -timeout must be positive, got %v\n", cfg.timeout)
+		os.Exit(exitUsage)
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
 
 	switch {
 	case *benchmark != "" || flag.NArg() == 1:
-		if err := runSweep(*benchmark, flag.Args(), *method, *engine, *reduce, *iterations, *randRounds, *seed, *budget); err != nil {
+		code, err := runSweep(ctx, *benchmark, flag.Args(), cfg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitFail)
 		}
+		os.Exit(code)
 	case flag.NArg() == 2:
-		if err := runCEC(flag.Arg(0), flag.Arg(1), *iterations, *seed, *budget); err != nil {
+		code, err := runCEC(ctx, flag.Arg(0), flag.Arg(1), cfg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitFail)
 		}
+		os.Exit(code)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: sweep [flags] circuit.blif | sweep [flags] a.blif b.blif")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 }
 
@@ -55,7 +110,18 @@ func load(path string) (*simgen.Network, error) {
 	return simgen.ParseBLIF(f)
 }
 
-func runSweep(benchmark string, args []string, method, engine, reduce string, iterations, randRounds int, seed, budget int64) error {
+func (c config) sweepOptions() simgen.SweepOptions {
+	return simgen.SweepOptions{
+		ConflictBudget:    c.budget,
+		PropagationBudget: c.propBudget,
+		EscalationFactor:  c.escalate,
+		MaxEscalations:    c.maxEscalate,
+		BDDFallback:       c.bddFallback,
+		BDDNodeLimit:      c.bddNodes,
+	}
+}
+
+func runSweep(ctx context.Context, benchmark string, args []string, cfg config) (int, error) {
 	var net *simgen.Network
 	var err error
 	if benchmark != "" {
@@ -64,36 +130,47 @@ func runSweep(benchmark string, args []string, method, engine, reduce string, it
 		net, err = load(args[0])
 	}
 	if err != nil {
-		return err
+		return exitFail, err
 	}
 
-	run := simgen.NewRunner(net, randRounds, seed)
+	run := simgen.NewRunner(net, cfg.randRounds, cfg.seed)
 	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
 	fmt.Printf("after random simulation: cost %d\n", run.Classes.Cost())
 
-	switch method {
+	switch cfg.method {
 	case "simgen":
-		run.Run(simgen.NewGenerator(net, simgen.StrategySimGen, seed+1), iterations)
+		run.RunContext(ctx, simgen.NewGenerator(net, simgen.StrategySimGen, cfg.seed+1), cfg.iterations)
 	case "revs":
-		run.Run(simgen.NewReverse(net, seed+1), iterations)
+		run.RunContext(ctx, simgen.NewReverse(net, cfg.seed+1), cfg.iterations)
 	case "none":
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return exitUsage, fmt.Errorf("unknown method %q", cfg.method)
 	}
-	fmt.Printf("after guided simulation (%s): cost %d\n", method, run.Classes.Cost())
+	fmt.Printf("after guided simulation (%s): cost %d\n", cfg.method, run.Classes.Cost())
 
+	code := exitOK
 	var rep func(simgen.NodeID) simgen.NodeID
-	switch engine {
+	switch cfg.engine {
 	case "sat":
-		sw := simgen.NewSweeper(net, run.Classes, simgen.SweepOptions{ConflictBudget: budget})
-		res := sw.Run()
+		sw := simgen.NewSweeper(net, run.Classes, cfg.sweepOptions())
+		var res simgen.SweepResult
+		if cfg.workers > 1 {
+			res = sw.RunParallelContext(ctx, cfg.workers)
+		} else {
+			res = sw.RunContext(ctx)
+		}
 		rep = sw.Rep
 		fmt.Printf("SAT sweeping: %s\n", res)
 		fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d\n",
 			res.Proved, res.Disproved, res.FinalCost)
+		if res.Incomplete {
+			fmt.Printf("undecided: sweep stopped early (timed out: %v); %d candidate pairs remain\n",
+				res.TimedOut, res.FinalCost)
+			code = exitUndecided
+		}
 	case "bdd":
 		sw := simgen.NewBDDSweeper(net, run.Classes, 0)
-		res := sw.Run()
+		res := sw.RunContext(ctx)
 		rep = sw.Rep
 		fmt.Printf("BDD sweeping: %d checks in %v (%d BDD nodes)\n",
 			res.Checks, res.Time, res.PeakNodes)
@@ -103,52 +180,64 @@ func runSweep(benchmark string, args []string, method, engine, reduce string, it
 			fmt.Printf(" (node limit hit: %d pairs unresolved)", res.Unresolved)
 		}
 		fmt.Println()
+		if res.Incomplete {
+			fmt.Printf("undecided: sweep stopped early (timed out: %v); %d candidate pairs remain\n",
+				res.TimedOut, res.FinalCost)
+			code = exitUndecided
+		}
 	default:
-		return fmt.Errorf("unknown engine %q", engine)
+		return exitUsage, fmt.Errorf("unknown engine %q", cfg.engine)
 	}
 
-	if reduce != "" {
+	if cfg.reduce != "" {
 		merged := simgen.ApplySweep(net, rep)
-		f, err := os.Create(reduce)
+		f, err := os.Create(cfg.reduce)
 		if err != nil {
-			return err
+			return exitFail, err
 		}
 		defer f.Close()
 		if err := simgen.WriteBLIF(f, merged); err != nil {
-			return err
+			return exitFail, err
 		}
-		fmt.Printf("reduced network: %s -> %s (%s)\n", net.Stats(), merged.Stats(), reduce)
+		fmt.Printf("reduced network: %s -> %s (%s)\n", net.Stats(), merged.Stats(), cfg.reduce)
 	}
-	return nil
+	return code, nil
 }
 
-func runCEC(pathA, pathB string, iterations int, seed, budget int64) error {
+func runCEC(ctx context.Context, pathA, pathB string, cfg config) (int, error) {
 	a, err := load(pathA)
 	if err != nil {
-		return err
+		return exitFail, err
 	}
 	b, err := load(pathB)
 	if err != nil {
-		return err
+		return exitFail, err
 	}
-	res, err := simgen.CEC(a, b, simgen.CECOptions{
-		Seed:             seed,
-		GuidedIterations: iterations,
-		Sweep:            simgen.SweepOptions{ConflictBudget: budget},
+	res, err := simgen.CECContext(ctx, a, b, simgen.CECOptions{
+		Seed:             cfg.seed,
+		GuidedIterations: cfg.iterations,
+		Workers:          cfg.workers,
+		Sweep:            cfg.sweepOptions(),
 	})
 	if err != nil {
-		return err
+		return exitFail, err
 	}
 	fmt.Printf("sweep: %s\n", res.Sweep)
+	if res.Undecided {
+		fmt.Printf("UNDECIDED (output %s unresolved; timed out: %v)\n",
+			res.UndecidedPO, res.Sweep.TimedOut || ctx.Err() != nil)
+		fmt.Printf("partial results: %d proved, %d disproved, %d unresolved, %d PO calls\n",
+			res.Sweep.Proved, res.Sweep.Disproved, res.Sweep.Unresolved, res.POCalls)
+		return exitUndecided, nil
+	}
 	if res.Equivalent {
 		fmt.Println("EQUIVALENT")
-		return nil
+		return exitOK, nil
 	}
 	fmt.Printf("NOT EQUIVALENT (output %s differs)\n", res.FailedPO)
 	fmt.Printf("counterexample: %v\n", res.Counterexample)
 	if ok, po := simgen.VerifyCounterexample(a, b, res.Counterexample); ok {
 		fmt.Printf("counterexample verified on output %s\n", po)
 	}
-	os.Exit(1)
-	return nil
+	return exitFail, nil
 }

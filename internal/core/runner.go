@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -66,12 +67,30 @@ func (r *Runner) Elapsed() time.Duration { return r.elapsed }
 // Step runs one iteration with the source: generate a batch, simulate it,
 // refine the classes. It reports the resulting statistics.
 func (r *Runner) Step(src VectorSource, iteration int) IterationStat {
+	st, _ := r.StepContext(context.Background(), src, iteration)
+	return st
+}
+
+// StepContext is Step under a context: a cancelled context skips generation
+// and abandons a half-finished simulation without refining the classes
+// (refinement must only ever see complete value sets). ok is false when the
+// iteration was cut short.
+func (r *Runner) StepContext(ctx context.Context, src VectorSource, iteration int) (st IterationStat, ok bool) {
 	start := time.Now()
-	vectors := src.NextBatch(r.Classes, r.BatchSize)
+	ok = true
+	var vectors [][]bool
+	if ctx.Err() == nil {
+		vectors = src.NextBatch(r.Classes, r.BatchSize)
+	} else {
+		ok = false
+	}
 	if len(vectors) > 0 {
 		inputs, nwords := sim.PackVectors(r.Net, vectors)
-		vals := sim.Simulate(r.Net, inputs, nwords)
-		r.Classes.Refine(vals)
+		if vals, done := sim.SimulateContext(ctx, r.Net, inputs, nwords); done {
+			r.Classes.Refine(vals)
+		} else {
+			ok = false
+		}
 	}
 	r.elapsed += time.Since(start)
 	return IterationStat{
@@ -79,14 +98,25 @@ func (r *Runner) Step(src VectorSource, iteration int) IterationStat {
 		Cost:      r.Classes.Cost(),
 		Vectors:   len(vectors),
 		Elapsed:   r.elapsed,
-	}
+	}, ok
 }
 
 // Run performs n iterations and returns the per-iteration statistics.
 func (r *Runner) Run(src VectorSource, n int) []IterationStat {
+	return r.RunContext(context.Background(), src, n)
+}
+
+// RunContext performs up to n iterations, stopping early (with the
+// statistics gathered so far) once the context is cancelled or past its
+// deadline.
+func (r *Runner) RunContext(ctx context.Context, src VectorSource, n int) []IterationStat {
 	stats := make([]IterationStat, 0, n)
 	for i := 0; i < n; i++ {
-		stats = append(stats, r.Step(src, i))
+		st, ok := r.StepContext(ctx, src, i)
+		if !ok {
+			break
+		}
+		stats = append(stats, st)
 	}
 	return stats
 }

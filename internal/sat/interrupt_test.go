@@ -1,0 +1,124 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// php builds the (unsatisfiable) pigeonhole problem PHP(n+1, n) — the
+// standard hard instance family for budget and interrupt tests.
+func php(n int) *Solver {
+	s := New()
+	v := make([][]int, n+1)
+	for p := range v {
+		v[p] = make([]int, n)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = MkLit(v[p][h], false)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPropagationBudget(t *testing.T) {
+	s := php(7)
+	s.PropagationBudget = 2000
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve under tiny propagation budget = %v, want Unknown", got)
+	}
+	// The budget is per call: lifting it must let the same solver finish.
+	s.PropagationBudget = 0
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve after lifting the budget = %v, want UNSAT", got)
+	}
+}
+
+func TestInterruptBeforeSolve(t *testing.T) {
+	s := php(6)
+	s.Interrupt()
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve after Interrupt = %v, want Unknown", got)
+	}
+	// The flag is sticky until cleared.
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve with pending interrupt = %v, want Unknown", got)
+	}
+	s.ClearInterrupt()
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve after ClearInterrupt = %v, want UNSAT", got)
+	}
+}
+
+func TestInterruptMidSolve(t *testing.T) {
+	// PHP(10,9) takes far longer than the interrupt delay; the solver must
+	// come back with Unknown well before it could finish.
+	s := php(9)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.Interrupt()
+	}()
+	start := time.Now()
+	got := s.Solve()
+	elapsed := time.Since(start)
+	if got != Unknown {
+		t.Fatalf("interrupted Solve = %v, want Unknown", got)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("interrupt took %v to be honored", elapsed)
+	}
+}
+
+func TestWatchContextDeadline(t *testing.T) {
+	s := php(9)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	stop := s.WatchContext(ctx)
+	defer stop()
+	start := time.Now()
+	got := s.Solve()
+	if got != Unknown {
+		t.Fatalf("Solve past deadline = %v, want Unknown", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to be honored", elapsed)
+	}
+	if !s.Interrupted() {
+		t.Fatal("watcher did not leave the interrupt flag set")
+	}
+}
+
+func TestWatchContextStopReleasesWatcher(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := s.WatchContext(ctx)
+	stop()
+	cancel()
+	// Give a leaked watcher a chance to (incorrectly) fire.
+	time.Sleep(5 * time.Millisecond)
+	if s.Interrupted() {
+		t.Fatal("stopped watcher still interrupted the solver")
+	}
+}
+
+func TestWatchContextBackgroundIsNoop(t *testing.T) {
+	s := php(5)
+	stop := s.WatchContext(context.Background())
+	defer stop()
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve under background context = %v, want UNSAT", got)
+	}
+}

@@ -6,9 +6,11 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Lit is a solver literal: 2*variable + sign, where sign 1 means negated.
@@ -114,6 +116,19 @@ type Solver struct {
 	// ConflictBudget, when positive, bounds the number of conflicts per
 	// Solve call; exceeding it yields Unknown.
 	ConflictBudget int64
+
+	// PropagationBudget, when positive, bounds the number of unit
+	// propagations per Solve call; exceeding it yields Unknown. It is the
+	// wall-clock-proportional budget (propagations dominate runtime),
+	// complementing ConflictBudget's difficulty-proportional one.
+	PropagationBudget int64
+
+	// interrupted is an asynchronous stop request, safe to set from another
+	// goroutine (Interrupt). Solve polls it every interruptCheckEvery
+	// propagations and returns Unknown promptly once it is set. The flag is
+	// sticky: it stays set (and keeps Solve returning Unknown) until
+	// ClearInterrupt.
+	interrupted atomic.Bool
 
 	Stats Stats
 
@@ -528,6 +543,44 @@ func (s *Solver) rebuildWithout(remove map[int32]bool) {
 	}
 }
 
+// interruptCheckEvery is how many propagations pass between polls of the
+// interrupt flag and the propagation budget inside Solve. Polling an atomic
+// this often costs well under 1% of solve time while bounding the response
+// latency to an interrupt by a few microseconds of propagation work.
+const interruptCheckEvery = 1024
+
+// Interrupt asynchronously requests that the current (and any subsequent)
+// Solve call stop and return Unknown. It is safe to call from another
+// goroutine; the flag is sticky until ClearInterrupt.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether an interrupt is pending.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
+
+// WatchContext interrupts the solver as soon as ctx is cancelled or its
+// deadline passes. It returns a stop function that releases the watcher
+// goroutine; callers must invoke it (typically via defer) when the solving
+// phase ends. The interrupt flag is NOT cleared by stop — a cancelled
+// context leaves the solver interrupted, so later Solve calls keep
+// returning Unknown, which is what an abandoned run wants.
+func (s *Solver) WatchContext(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Interrupt()
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
+}
+
 // luby computes the Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
 func luby(x int64) int64 {
 	size, seq := int64(1), 0
@@ -544,10 +597,14 @@ func luby(x int64) int64 {
 }
 
 // Solve searches for a model under the given assumptions. It returns Sat,
-// Unsat, or Unknown when the conflict budget is exhausted.
+// Unsat, or Unknown when the conflict or propagation budget is exhausted or
+// the solver is interrupted (Interrupt / WatchContext).
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsat {
 		return Unsat
+	}
+	if s.interrupted.Load() {
+		return Unknown
 	}
 	s.cancelUntil(0)
 	if s.propagate() >= 0 {
@@ -558,6 +615,8 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	restartBase := int64(100)
 	var restartNum int64
 	conflictsAtStart := s.Stats.Conflicts
+	propsAtStart := s.Stats.Propagations
+	nextPoll := s.Stats.Propagations + interruptCheckEvery
 	conflictLimit := restartBase * luby(restartNum)
 	conflictsThisRestart := int64(0)
 	if s.maxLearnt == 0 {
@@ -565,6 +624,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 
 	for {
+		if s.Stats.Propagations >= nextPoll {
+			nextPoll = s.Stats.Propagations + interruptCheckEvery
+			if s.interrupted.Load() ||
+				(s.PropagationBudget > 0 && s.Stats.Propagations-propsAtStart >= s.PropagationBudget) {
+				s.cancelUntil(0)
+				return Unknown
+			}
+		}
 		confl := s.propagate()
 		if confl >= 0 {
 			s.Stats.Conflicts++

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 
 	"simgen/internal/network"
@@ -23,18 +24,35 @@ type Values []Words
 // order) and must have nwords entries. The returned Values has one entry
 // per node.
 func Simulate(net *network.Network, inputs []Words, nwords int) Values {
+	vals, _ := SimulateContext(context.Background(), net, inputs, nwords)
+	return vals
+}
+
+// cancelCheckEvery is how many nodes SimulateContext evaluates between
+// context polls; large enough that the poll is free, small enough that a
+// deadline interrupts a multi-million-node simulation within milliseconds.
+const cancelCheckEvery = 4096
+
+// SimulateContext is Simulate under a context: it polls for cancellation
+// every few thousand nodes and returns (nil, false) when the context ends
+// before the simulation does. ok is true when every node was evaluated.
+func SimulateContext(ctx context.Context, net *network.Network, inputs []Words, nwords int) (vals Values, ok bool) {
 	if len(inputs) != net.NumPIs() {
 		panic("sim: input count does not match PI count")
 	}
-	vals := make(Values, net.NumNodes())
+	vals = make(Values, net.NumNodes())
 	for i, pi := range net.PIs() {
 		if len(inputs[i]) != nwords {
 			panic("sim: input word count mismatch")
 		}
 		vals[pi] = inputs[i]
 	}
+	cancellable := ctx != nil && ctx.Done() != nil
 	scratch := make(Words, nwords)
 	for id := 0; id < net.NumNodes(); id++ {
+		if cancellable && id%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, false
+		}
 		nd := net.Node(network.NodeID(id))
 		switch nd.Kind {
 		case network.KindPI:
@@ -51,7 +69,7 @@ func Simulate(net *network.Network, inputs []Words, nwords int) Values {
 			vals[id] = evalLUT(net, network.NodeID(id), vals, nwords, scratch)
 		}
 	}
-	return vals
+	return vals, true
 }
 
 // evalLUT computes the node's output words from its on-set cover:

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -18,7 +19,9 @@ type BDDResult struct {
 	Unresolved int  // pairs abandoned after a node-table blow-up
 	BlownUp    bool // the manager hit its node limit at least once
 	FinalCost  int
-	PeakNodes  int // BDD manager size at the end
+	PeakNodes  int  // BDD manager size at the end
+	Incomplete bool // a deadline or cancel stopped the sweep early
+	TimedOut   bool // the early stop was a context deadline
 }
 
 // BDDSweeper verifies candidate equivalences by building canonical BDDs —
@@ -59,11 +62,23 @@ func (s *BDDSweeper) Rep(id network.NodeID) network.NodeID {
 
 // Run sweeps every non-singleton class.
 func (s *BDDSweeper) Run() BDDResult {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: between pair checks, cancellation or a
+// deadline stops the sweep and returns the partial result with Incomplete
+// (and TimedOut, for deadlines) set. Individual checks are not interrupted
+// mid-build — the manager's node limit bounds each one.
+func (s *BDDSweeper) RunContext(ctx context.Context) BDDResult {
 	var res BDDResult
+loop:
 	for {
 		progress := false
 		for _, ci := range s.Classes.NonSingleton() {
-			if s.sweepClass(ci, &res) {
+			if ctx.Err() != nil {
+				break loop
+			}
+			if s.sweepClass(ctx, ci, &res) {
 				progress = true
 			}
 		}
@@ -71,16 +86,22 @@ func (s *BDDSweeper) Run() BDDResult {
 			break
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		res.Incomplete = true
+		if errors.Is(err, context.DeadlineExceeded) {
+			res.TimedOut = true
+		}
+	}
 	res.FinalCost = s.Classes.Cost()
 	res.PeakNodes = s.builder.M.NumNodes()
 	return res
 }
 
-func (s *BDDSweeper) sweepClass(ci int, res *BDDResult) bool {
+func (s *BDDSweeper) sweepClass(ctx context.Context, ci int, res *BDDResult) bool {
 	worked := false
 	for {
 		members := s.Classes.Members(ci)
-		if len(members) < 2 {
+		if len(members) < 2 || ctx.Err() != nil {
 			return worked
 		}
 		rep, m := members[0], members[1]

@@ -1,9 +1,12 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"simgen/internal/bdd"
 	"simgen/internal/core"
 	"simgen/internal/network"
 	"simgen/internal/sat"
@@ -80,6 +83,13 @@ func copyInto(dst, src *network.Network, pis []network.NodeID) map[network.NodeI
 // CECResult is the outcome of an equivalence check.
 type CECResult struct {
 	Equivalent bool
+	// Undecided is set when a deadline, cancellation, or exhausted budgets
+	// (after escalation and BDD fallback) left at least one output pair
+	// unproven either way; Equivalent is false but no counterexample
+	// exists.
+	Undecided bool
+	// UndecidedPO names the first output the check could not settle.
+	UndecidedPO string
 	// Counterexample is a PI assignment separating the circuits when they
 	// are not equivalent.
 	Counterexample []bool
@@ -100,11 +110,23 @@ type CECOptions struct {
 	GuidedIterations int
 	// Seed drives all randomized steps.
 	Seed int64
+	// Workers sweeps with this many parallel workers when > 1.
+	Workers int
 }
 
 // CEC checks combinational equivalence of two networks using simulation,
 // SAT sweeping, and final per-output SAT calls.
 func CEC(a, b *network.Network, opts CECOptions) (CECResult, error) {
+	return CECContext(context.Background(), a, b, opts)
+}
+
+// CECContext is CEC under a context: cancellation or a deadline stops the
+// guided simulation, the sweep, and the per-output SAT calls promptly,
+// returning an Undecided verdict with partial sweep accounting rather than
+// an error. Output pairs whose SAT call exhausts its budget climb the same
+// escalation ladder as sweeping pairs and finally fall back to the BDD
+// engine when Options.BDDFallback is set.
+func CECContext(ctx context.Context, a, b *network.Network, opts CECOptions) (CECResult, error) {
 	m, pairs, err := Combine(a, b)
 	if err != nil {
 		return CECResult{}, err
@@ -115,39 +137,107 @@ func CEC(a, b *network.Network, opts CECOptions) (CECResult, error) {
 	runner := core.NewRunner(m, opts.RandomRounds, opts.Seed)
 	if opts.GuidedIterations > 0 {
 		gen := core.NewGenerator(m, core.StrategySimGen, opts.Seed+1)
-		runner.Run(gen, opts.GuidedIterations)
+		runner.RunContext(ctx, gen, opts.GuidedIterations)
 	}
 
 	sw := New(m, runner.Classes, opts.Sweep)
 	res := CECResult{Equivalent: true}
-	res.Sweep = sw.Run()
+	if opts.Workers > 1 {
+		res.Sweep = sw.RunParallelContext(ctx, opts.Workers)
+	} else {
+		res.Sweep = sw.RunContext(ctx)
+	}
 
 	// Final check per PO pair; sweeping's equality clauses remain in the
 	// solver and typically make these calls trivial.
+	stop := sw.solver.WatchContext(ctx)
+	defer stop()
+	var fallback *bdd.Builder
 	for _, p := range pairs {
 		if sw.Rep(p.A) == sw.Rep(p.B) {
 			continue // proven during sweeping
 		}
-		sw.enc.EncodeCone(p.A)
-		sw.enc.EncodeCone(p.B)
-		x := sw.enc.XorLit(sw.enc.Lit(p.A, false), sw.enc.Lit(p.B, false))
-		start := time.Now()
-		status := sw.solver.Solve(x)
-		res.POTime += time.Since(start)
-		res.POCalls++
+		if ctx.Err() != nil {
+			res.Equivalent = false
+			res.Undecided = true
+			res.UndecidedPO = p.Name
+			return res, nil
+		}
+		status, cex := checkPO(ctx, sw, p, &res, &fallback)
 		switch status {
 		case sat.Unsat:
 			continue
 		case sat.Sat:
 			res.Equivalent = false
-			res.Counterexample = sw.enc.Model()
+			res.Counterexample = cex
 			res.FailedPO = p.Name
 			return res, nil
 		default:
-			return res, fmt.Errorf("sweep: CEC of PO %q exceeded the conflict budget", p.Name)
+			res.Equivalent = false
+			res.Undecided = true
+			res.UndecidedPO = p.Name
+			return res, nil
 		}
 	}
 	return res, nil
+}
+
+// checkPO settles one output pair: a SAT call at the base budget, then the
+// escalation ladder, then (when enabled) the BDD engine. fallback caches
+// the BDD builder across output pairs.
+func checkPO(ctx context.Context, sw *Sweeper, p POPair, res *CECResult, fallback **bdd.Builder) (sat.Status, []bool) {
+	sw.enc.EncodeCone(p.A)
+	sw.enc.EncodeCone(p.B)
+	x := sw.enc.XorLit(sw.enc.Lit(p.A, false), sw.enc.Lit(p.B, false))
+
+	baseC, baseP := sw.solver.ConflictBudget, sw.solver.PropagationBudget
+	defer func() {
+		sw.solver.ConflictBudget, sw.solver.PropagationBudget = baseC, baseP
+	}()
+	factor := sw.Opts.escalationFactor()
+	budgetC, budgetP := sw.Opts.ConflictBudget, sw.Opts.PropagationBudget
+	for rung := 0; rung <= sw.Opts.MaxEscalations; rung++ {
+		if rung > 0 {
+			budgetC *= factor
+			budgetP *= factor
+		}
+		sw.solver.ConflictBudget, sw.solver.PropagationBudget = budgetC, budgetP
+		start := time.Now()
+		status := sw.solver.Solve(x)
+		res.POTime += time.Since(start)
+		res.POCalls++
+		if status == sat.Sat {
+			return status, sw.enc.Model()
+		}
+		if status == sat.Unsat {
+			return status, nil
+		}
+		if ctx.Err() != nil {
+			return sat.Unknown, nil
+		}
+	}
+	if !sw.Opts.BDDFallback {
+		return sat.Unknown, nil
+	}
+	if *fallback == nil {
+		*fallback = bdd.NewBuilder(sw.Net)
+		(*fallback).M.MaxNodes = sw.Opts.BDDNodeLimit
+	}
+	start := time.Now()
+	cex, differ, err := (*fallback).Counterexample(p.A, p.B)
+	res.POTime += time.Since(start)
+	res.POCalls++
+	switch {
+	case err != nil:
+		if !errors.Is(err, bdd.ErrNodeLimit) {
+			panic(err) // builder errors other than blow-up are bugs
+		}
+		return sat.Unknown, nil
+	case !differ:
+		return sat.Unsat, nil
+	default:
+		return sat.Sat, cex
+	}
 }
 
 // VerifyCounterexample confirms that a CEC counterexample separates the two

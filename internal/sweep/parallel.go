@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -20,8 +22,20 @@ import (
 // canonical facts), but the order of counterexample refinements differs
 // between runs, so per-run call counts may vary slightly.
 func (s *Sweeper) RunParallel(workers int) Result {
+	return s.RunParallelContext(context.Background(), workers)
+}
+
+// RunParallelContext is RunParallel under a context. Cancellation
+// interrupts every worker's solver; the partial result carries
+// Incomplete/TimedOut. Workers are crash-isolated: a panic while checking
+// a pair is recovered and converted into an unresolved verdict for that
+// pair (counted in Result.WorkerPanics), the claim on its class is always
+// released, and the remaining workers keep sweeping. After the workers
+// join, budget-exhausted pairs run the same escalation ladder and BDD
+// fallback as the sequential sweep.
+func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 	if workers <= 1 {
-		return s.Run()
+		return s.RunContext(ctx)
 	}
 	// Warm the shared caches that are lazily built and not goroutine-safe:
 	// covers (row tables / CNF cubes) and fanout/level data.
@@ -38,6 +52,9 @@ func (s *Sweeper) RunParallel(workers int) Result {
 		// member), which is stable across refinements — class *indices*
 		// are not.
 		claimed = map[network.NodeID]bool{}
+		// deferred collects budget-exhausted pairs for post-join
+		// escalation.
+		deferred []pair
 	)
 
 	// nextPair pops an unresolved candidate pair under the lock, skipping
@@ -46,6 +63,10 @@ func (s *Sweeper) RunParallel(workers int) Result {
 	nextPair := func() (rep, m network.NodeID, ok bool) {
 		mu.Lock()
 		defer mu.Unlock()
+		if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
+			res.Incomplete = true
+			return 0, 0, false
+		}
 		for _, c := range s.Classes.NonSingleton() {
 			members := s.Classes.Members(c)
 			if len(members) < 2 || claimed[members[0]] {
@@ -57,17 +78,33 @@ func (s *Sweeper) RunParallel(workers int) Result {
 		return 0, 0, false
 	}
 
+	release := func(rep network.NodeID) {
+		mu.Lock()
+		defer mu.Unlock()
+		delete(claimed, rep)
+	}
+
 	type verdict struct {
-		rep, m network.NodeID
-		status sat.Status
-		cex    []bool
-		spent  time.Duration
+		rep, m    network.NodeID
+		status    sat.Status
+		cex       []bool
+		spent     time.Duration
+		panicked  bool // worker crashed mid-check; no SAT call to account
+		cancelled bool // Unknown came from a context interrupt, not budget
 	}
 
 	// applyVerdict folds one SAT outcome into the shared state.
 	applyVerdict := func(v verdict) {
 		mu.Lock()
 		defer mu.Unlock()
+		if v.panicked {
+			// The crashed check proved nothing; drop the member so the
+			// class is not retried into the same crash, and account it.
+			res.WorkerPanics++
+			res.Unresolved++
+			s.Classes.Remove(v.m)
+			return
+		}
 		res.SATCalls++
 		res.SATTime += v.spent
 		// The pair may have been split meanwhile by another worker's
@@ -91,8 +128,64 @@ func (s *Sweeper) RunParallel(workers int) Result {
 				res.Unresolved++
 			}
 		default:
+			if v.cancelled {
+				// Interrupted, not out of budget: leave the pair in its
+				// class so the partial result reports it as still open.
+				res.Incomplete = true
+				return
+			}
 			s.Classes.Remove(v.m)
-			res.Unresolved++
+			if s.Opts.MaxEscalations > 0 || s.Opts.BDDFallback {
+				deferred = append(deferred, pair{v.rep, v.m})
+			} else {
+				res.Unresolved++
+			}
+		}
+	}
+
+	// processPair checks one claimed pair on the worker's private solver.
+	// The claim release and the panic recovery are both deferred, so no
+	// early return, interrupt, or crash can orphan a class.
+	processPair := func(solver *sat.Solver, enc *cnf.Encoder, rep, m network.NodeID) {
+		defer release(rep)
+		defer func() {
+			if r := recover(); r != nil {
+				applyVerdict(verdict{rep: rep, m: m, panicked: true})
+			}
+		}()
+		var (
+			status sat.Status
+			cex    []bool
+			spent  time.Duration
+		)
+		fault := FaultNone
+		if s.Opts.FaultHook != nil {
+			fault = s.Opts.FaultHook(rep, m)
+		}
+		switch fault {
+		case FaultPanic:
+			panic(fmt.Sprintf("sweep: injected fault on pair (%d,%d)", rep, m))
+		case FaultUnknown:
+			status = sat.Unknown
+		default:
+			enc.EncodeCone(rep)
+			enc.EncodeCone(m)
+			x := enc.XorLit(enc.Lit(rep, false), enc.Lit(m, false))
+			start := time.Now()
+			status = solver.Solve(x)
+			spent = time.Since(start)
+			if status == sat.Sat {
+				cex = enc.Model()
+			}
+		}
+		applyVerdict(verdict{
+			rep: rep, m: m, status: status, cex: cex, spent: spent,
+			cancelled: status == sat.Unknown && fault == FaultNone && ctx.Err() != nil,
+		})
+		// Teach this worker's solver the proven equality.
+		if status == sat.Unsat {
+			solver.AddClause(enc.Lit(rep, true), enc.Lit(m, false))
+			solver.AddClause(enc.Lit(rep, false), enc.Lit(m, true))
 		}
 	}
 
@@ -100,33 +193,16 @@ func (s *Sweeper) RunParallel(workers int) Result {
 		defer wg.Done()
 		solver := sat.New()
 		solver.ConflictBudget = s.Opts.ConflictBudget
+		solver.PropagationBudget = s.Opts.PropagationBudget
+		stopWatch := solver.WatchContext(ctx)
+		defer stopWatch()
 		enc := cnf.NewEncoder(s.Net, solver)
-		for {
+		for ctx.Err() == nil {
 			rep, m, ok := nextPair()
 			if !ok {
 				return
 			}
-			enc.EncodeCone(rep)
-			enc.EncodeCone(m)
-			x := enc.XorLit(enc.Lit(rep, false), enc.Lit(m, false))
-			start := time.Now()
-			status := solver.Solve(x)
-			spent := time.Since(start)
-			var cex []bool
-			if status == sat.Sat {
-				cex = enc.Model()
-			}
-			applyVerdict(verdict{rep: rep, m: m, status: status, cex: cex, spent: spent})
-			// Teach this worker's solver the proven equality.
-			if status == sat.Unsat {
-				solver.AddClause(enc.Lit(rep, true), enc.Lit(m, false))
-				solver.AddClause(enc.Lit(rep, false), enc.Lit(m, true))
-			}
-			// Release the claim so the class's remaining members are
-			// processed (possibly by another worker).
-			mu.Lock()
-			delete(claimed, rep)
-			mu.Unlock()
+			processPair(solver, enc, rep, m)
 		}
 	}
 
@@ -135,6 +211,13 @@ func (s *Sweeper) RunParallel(workers int) Result {
 		go work()
 	}
 	wg.Wait()
-	res.FinalCost = s.Classes.Cost()
+
+	// Escalation and BDD fallback run post-join on the sweeper's own
+	// solver; both bail out pair-by-pair once the context is cancelled.
+	stopWatch := s.solver.WatchContext(ctx)
+	deferred = s.escalate(ctx, deferred, &res)
+	s.bddFallback(ctx, deferred, &res)
+	stopWatch()
+	s.finish(ctx, &res)
 	return res
 }

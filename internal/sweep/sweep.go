@@ -7,25 +7,85 @@
 //
 // The package also provides combinational equivalence checking (CEC) of two
 // networks on top of the sweeping engine.
+//
+// # Budgets, deadlines, and degradation
+//
+// Every engine accepts a context (RunContext, RunParallelContext,
+// CECContext): cancellation or a deadline interrupts the SAT solver
+// mid-call and yields a partial Result with Incomplete/TimedOut set instead
+// of hanging. Pairs whose SAT call exhausts its conflict/propagation budget
+// are not dropped immediately: they climb an escalation ladder
+// (EscalationFactor× larger budgets for MaxEscalations rungs) and, when the
+// final rung fails too, fall back to the BDD engine under its own
+// node-count limit before being declared Unresolved — the hybrid-engine
+// architecture of Chen et al. (arXiv:2501.14740) and FORWORD
+// (arXiv:2507.02008).
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"simgen/internal/bdd"
 	"simgen/internal/cnf"
 	"simgen/internal/network"
 	"simgen/internal/sat"
 	"simgen/internal/sim"
 )
 
+// Fault is a test-only injected failure, returned by Options.FaultHook to
+// exercise the sweeping degradation paths deterministically.
+type Fault int
+
+// Fault kinds. FaultUnknown forces a budget-exhaustion verdict without
+// running the solver; FaultPanic panics mid-solve (recovered and converted
+// to an unresolved verdict by parallel workers).
+const (
+	FaultNone Fault = iota
+	FaultUnknown
+	FaultPanic
+)
+
 // Options configures a sweep.
 type Options struct {
-	// ConflictBudget bounds each SAT call; 0 means unlimited. Calls that
-	// exhaust the budget leave the pair unresolved.
+	// ConflictBudget bounds each SAT call's conflicts; 0 means unlimited.
+	// Calls that exhaust the budget enter the escalation ladder (or are
+	// abandoned as Unresolved when MaxEscalations is 0).
 	ConflictBudget int64
+	// PropagationBudget bounds each SAT call's unit propagations — the
+	// wall-clock-proportional budget; 0 means unlimited.
+	PropagationBudget int64
 	// MaxPairs bounds the total number of SAT calls; 0 means unlimited.
 	MaxPairs int
+
+	// EscalationFactor multiplies the per-call budgets on each escalation
+	// rung; values below 2 mean the default of 4.
+	EscalationFactor int
+	// MaxEscalations is the number of escalation rungs a budget-exhausted
+	// pair may climb before falling back to the BDD engine (or being
+	// declared unresolved); 0 disables escalation.
+	MaxEscalations int
+	// BDDFallback re-checks pairs that exhausted the final escalation rung
+	// with the BDD engine under BDDNodeLimit.
+	BDDFallback bool
+	// BDDNodeLimit bounds the fallback BDD manager's node table;
+	// 0 means the manager default.
+	BDDNodeLimit int
+
+	// FaultHook, when set, is consulted before every SAT pair check and may
+	// inject a failure for that pair. Testing only.
+	FaultHook func(a, b network.NodeID) Fault
+}
+
+// escalationFactor returns the effective ladder multiplier.
+func (o Options) escalationFactor() int64 {
+	if o.EscalationFactor < 2 {
+		return 4
+	}
+	return int64(o.EscalationFactor)
 }
 
 // Result reports the work performed by a sweep.
@@ -34,14 +94,41 @@ type Result struct {
 	SATTime    time.Duration // cumulative Solve wall time
 	Proved     int           // pairs proven equivalent (merged)
 	Disproved  int           // pairs split by a counterexample
-	Unresolved int           // pairs abandoned on budget
+	Unresolved int           // pairs abandoned after every budget and engine
 	CexVectors int           // counterexamples re-simulated
 	FinalCost  int           // Eq. (5) cost after sweeping
+
+	Escalations  int  // escalated SAT re-checks performed
+	BDDChecks    int  // pairs referred to the BDD fallback engine
+	WorkerPanics int  // worker panics converted to unresolved verdicts
+	Incomplete   bool // a deadline, cancel, or MaxPairs stopped the sweep early
+	TimedOut     bool // the early stop was a context deadline
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("calls=%d time=%v proved=%d disproved=%d unresolved=%d",
+	var b strings.Builder
+	fmt.Fprintf(&b, "calls=%d time=%v proved=%d disproved=%d unresolved=%d",
 		r.SATCalls, r.SATTime, r.Proved, r.Disproved, r.Unresolved)
+	if r.Escalations > 0 {
+		fmt.Fprintf(&b, " escalations=%d", r.Escalations)
+	}
+	if r.BDDChecks > 0 {
+		fmt.Fprintf(&b, " bddchecks=%d", r.BDDChecks)
+	}
+	if r.WorkerPanics > 0 {
+		fmt.Fprintf(&b, " panics=%d", r.WorkerPanics)
+	}
+	if r.TimedOut {
+		b.WriteString(" (timed out)")
+	} else if r.Incomplete {
+		b.WriteString(" (incomplete)")
+	}
+	return b.String()
+}
+
+// pair is a candidate equivalence awaiting (re-)verification.
+type pair struct {
+	rep, m network.NodeID
 }
 
 // Sweeper verifies the candidate equivalences of a class partition.
@@ -59,6 +146,7 @@ type Sweeper struct {
 func New(net *network.Network, classes *sim.Classes, opts Options) *Sweeper {
 	solver := sat.New()
 	solver.ConflictBudget = opts.ConflictBudget
+	solver.PropagationBudget = opts.PropagationBudget
 	return &Sweeper{
 		Net:     net,
 		Classes: classes,
@@ -81,31 +169,74 @@ func (s *Sweeper) Rep(id network.NodeID) network.NodeID {
 	}
 }
 
+// merge records a proven equivalence (m into rep) and teaches the solver
+// the equality so later calls over the same cones become trivial.
+func (s *Sweeper) merge(rep, m network.NodeID) {
+	s.repOf[m] = rep
+	s.enc.EncodeCone(rep)
+	s.enc.EncodeCone(m)
+	s.solver.AddClause(s.enc.Lit(rep, true), s.enc.Lit(m, false))
+	s.solver.AddClause(s.enc.Lit(rep, false), s.enc.Lit(m, true))
+}
+
+// refineWith re-simulates one counterexample vector into the partition.
+func (s *Sweeper) refineWith(cex []bool) {
+	inputs, nwords := sim.PackVectors(s.Net, [][]bool{cex})
+	vals := sim.Simulate(s.Net, inputs, nwords)
+	s.Classes.Refine(vals)
+}
+
 // Run sweeps every non-singleton class until each candidate pair is proven,
 // disproved, or abandoned on budget. It returns the accumulated result.
 func (s *Sweeper) Run() Result {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation or a deadline interrupts
+// the SAT solver promptly and returns the partial result with Incomplete
+// (and TimedOut, for deadlines) set. Pairs that exhaust their budget are
+// escalated and finally retried on the BDD engine per Options.
+func (s *Sweeper) RunContext(ctx context.Context) Result {
 	var res Result
-	for {
-		progress := false
-		for _, ci := range s.Classes.NonSingleton() {
-			if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
-				res.FinalCost = s.Classes.Cost()
-				return res
-			}
-			if s.sweepClass(ci, &res) {
-				progress = true
-			}
-		}
-		if !progress {
-			break
-		}
-	}
-	res.FinalCost = s.Classes.Cost()
+	stop := s.solver.WatchContext(ctx)
+	defer stop()
+	deferred := s.runMain(ctx, &res)
+	deferred = s.escalate(ctx, deferred, &res)
+	s.bddFallback(ctx, deferred, &res)
+	s.finish(ctx, &res)
 	return res
 }
 
+// runMain is the base sweep loop. Budget-exhausted pairs are returned for
+// escalation when the ladder is enabled.
+func (s *Sweeper) runMain(ctx context.Context, res *Result) []pair {
+	var deferred []pair
+	for {
+		progress := false
+		for _, ci := range s.Classes.NonSingleton() {
+			if ctx.Err() != nil {
+				res.Incomplete = true
+				return deferred
+			}
+			if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
+				res.Incomplete = true
+				return deferred
+			}
+			if s.sweepClass(ctx, ci, res, &deferred) {
+				progress = true
+			}
+			if res.Incomplete {
+				return deferred
+			}
+		}
+		if !progress {
+			return deferred
+		}
+	}
+}
+
 // sweepClass processes one class; it reports whether any SAT call was made.
-func (s *Sweeper) sweepClass(ci int, res *Result) bool {
+func (s *Sweeper) sweepClass(ctx context.Context, ci int, res *Result, deferred *[]pair) bool {
 	worked := false
 	for {
 		members := s.Classes.Members(ci)
@@ -122,18 +253,14 @@ func (s *Sweeper) sweepClass(ci int, res *Result) bool {
 		switch status {
 		case sat.Unsat:
 			// Proven equivalent: merge m into rep, teach the solver.
-			s.repOf[m] = rep
+			s.merge(rep, m)
 			s.Classes.Remove(m)
-			s.solver.AddClause(s.enc.Lit(rep, true), s.enc.Lit(m, false))
-			s.solver.AddClause(s.enc.Lit(rep, false), s.enc.Lit(m, true))
 			res.Proved++
 		case sat.Sat:
 			// Counterexample: simulate and refine all classes.
 			res.Disproved++
 			res.CexVectors++
-			inputs, nwords := sim.PackVectors(s.Net, [][]bool{cex})
-			vals := sim.Simulate(s.Net, inputs, nwords)
-			s.Classes.Refine(vals)
+			s.refineWith(cex)
 			if s.Classes.ClassOf(rep) == s.Classes.ClassOf(m) {
 				// Defensive: a counterexample must separate the pair; if
 				// it somehow did not, drop the member to guarantee
@@ -142,16 +269,141 @@ func (s *Sweeper) sweepClass(ci int, res *Result) bool {
 				res.Unresolved++
 			}
 		default:
-			// Budget exhausted: drop the member from its class so the
-			// sweep terminates; it stays unproven.
+			if ctx.Err() != nil {
+				// Interrupted, not out of budget: leave the pair in its
+				// class so the partial result still reports it as an open
+				// candidate, and stop.
+				res.Incomplete = true
+				return worked
+			}
+			// Budget exhausted: drop the member from its class so the base
+			// sweep terminates, and hand it to the escalation ladder (or
+			// give it up when escalation is disabled).
 			s.Classes.Remove(m)
+			if s.Opts.MaxEscalations > 0 || s.Opts.BDDFallback {
+				*deferred = append(*deferred, pair{rep, m})
+			} else {
+				res.Unresolved++
+			}
+		}
+	}
+}
+
+// escalate retries budget-exhausted pairs with EscalationFactor× larger
+// budgets per rung. Pairs still Unknown after the last rung are returned
+// for the BDD fallback.
+func (s *Sweeper) escalate(ctx context.Context, deferred []pair, res *Result) []pair {
+	if len(deferred) == 0 || s.Opts.MaxEscalations <= 0 {
+		return deferred
+	}
+	baseC, baseP := s.solver.ConflictBudget, s.solver.PropagationBudget
+	defer func() {
+		s.solver.ConflictBudget, s.solver.PropagationBudget = baseC, baseP
+	}()
+	factor := s.Opts.escalationFactor()
+	budgetC, budgetP := s.Opts.ConflictBudget, s.Opts.PropagationBudget
+	for rung := 1; rung <= s.Opts.MaxEscalations && len(deferred) > 0; rung++ {
+		budgetC *= factor
+		budgetP *= factor
+		s.solver.ConflictBudget, s.solver.PropagationBudget = budgetC, budgetP
+		var next []pair
+		for i, p := range deferred {
+			if ctx.Err() != nil {
+				res.Incomplete = true
+				res.Unresolved += len(deferred) - i + len(next)
+				return nil
+			}
+			rep := s.Rep(p.rep)
+			m := p.m
+			status, cex := s.checkPair(rep, m, res)
+			res.Escalations++
+			switch status {
+			case sat.Unsat:
+				s.merge(rep, m)
+				res.Proved++
+			case sat.Sat:
+				res.Disproved++
+				res.CexVectors++
+				s.refineWith(cex)
+			default:
+				if ctx.Err() != nil {
+					res.Incomplete = true
+					res.Unresolved += len(deferred) - i + len(next)
+					return nil
+				}
+				next = append(next, pair{rep, m})
+			}
+		}
+		deferred = next
+	}
+	return deferred
+}
+
+// bddFallback is the last rung: pairs the SAT engine could not settle under
+// any budget are checked on canonical BDDs, whose cost model is entirely
+// different (node count, not conflicts). Equivalences proven here are
+// taught back to the SAT solver. Pairs that blow up the node table are
+// finally declared Unresolved.
+func (s *Sweeper) bddFallback(ctx context.Context, deferred []pair, res *Result) {
+	if len(deferred) == 0 {
+		return
+	}
+	if !s.Opts.BDDFallback {
+		res.Unresolved += len(deferred)
+		return
+	}
+	builder := bdd.NewBuilder(s.Net)
+	builder.M.MaxNodes = s.Opts.BDDNodeLimit
+	for i, p := range deferred {
+		if ctx.Err() != nil {
+			res.Incomplete = true
+			res.Unresolved += len(deferred) - i
+			return
+		}
+		rep := s.Rep(p.rep)
+		start := time.Now()
+		cex, differ, err := builder.Counterexample(rep, p.m)
+		res.SATTime += time.Since(start)
+		res.BDDChecks++
+		switch {
+		case err != nil:
+			if !errors.Is(err, bdd.ErrNodeLimit) {
+				panic(err) // builder errors other than blow-up are bugs
+			}
 			res.Unresolved++
+		case !differ:
+			s.merge(rep, p.m)
+			res.Proved++
+		default:
+			res.Disproved++
+			res.CexVectors++
+			s.refineWith(cex)
+		}
+	}
+}
+
+// finish stamps the final accounting shared by all run modes.
+func (s *Sweeper) finish(ctx context.Context, res *Result) {
+	res.FinalCost = s.Classes.Cost()
+	if err := ctx.Err(); err != nil {
+		res.Incomplete = true
+		if errors.Is(err, context.DeadlineExceeded) {
+			res.TimedOut = true
 		}
 	}
 }
 
 // checkPair runs one SAT call asking whether the two nodes can differ.
 func (s *Sweeper) checkPair(a, b network.NodeID, res *Result) (sat.Status, []bool) {
+	if s.Opts.FaultHook != nil {
+		switch s.Opts.FaultHook(a, b) {
+		case FaultUnknown:
+			res.SATCalls++
+			return sat.Unknown, nil
+		case FaultPanic:
+			panic(fmt.Sprintf("sweep: injected fault on pair (%d,%d)", a, b))
+		}
+	}
 	s.enc.EncodeCone(a)
 	s.enc.EncodeCone(b)
 	x := s.enc.XorLit(s.enc.Lit(a, false), s.enc.Lit(b, false))

@@ -14,6 +14,13 @@
 //   - a CDCL SAT solver, Tseitin encoding, SAT sweeping and CEC
 //   - the 42-circuit benchmark suite and the paper's experiment harness
 //
+// All verification entry points have context-aware variants (SweepContext,
+// CECContext, Sweeper.RunContext/RunParallelContext): a deadline or cancel
+// interrupts the SAT solver promptly and yields a partial result with
+// Incomplete/TimedOut accounting. Budget-exhausted pairs climb an
+// escalation ladder of growing conflict budgets and finally fall back to
+// the BDD engine; see SweepOptions.
+//
 // # Quick start
 //
 //	net, _ := simgen.LoadBenchmark("apex2")
@@ -25,6 +32,7 @@
 package simgen
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -95,6 +103,16 @@ type (
 	OneDistance = core.OneDistance
 	// SATVector is the SAT-generated vector baseline (Lee et al. style).
 	SATVector = core.SATVector
+	// Fault is a test-only injected failure for SweepOptions.FaultHook,
+	// exercising the sweeping degradation paths deterministically.
+	Fault = sweep.Fault
+)
+
+// Fault kinds for SweepOptions.FaultHook.
+const (
+	FaultNone    = sweep.FaultNone
+	FaultUnknown = sweep.FaultUnknown
+	FaultPanic   = sweep.FaultPanic
 )
 
 // OUTgold policies.
@@ -283,6 +301,13 @@ func Sweep(net *Network, classes *Classes, opts SweepOptions) SweepResult {
 	return sweep.New(net, classes, opts).Run()
 }
 
+// SweepContext is Sweep under a context: cancellation or a deadline
+// interrupts the SAT solver promptly and returns the partial result with
+// Incomplete (and TimedOut, for deadlines) set.
+func SweepContext(ctx context.Context, net *Network, classes *Classes, opts SweepOptions) SweepResult {
+	return sweep.New(net, classes, opts).RunContext(ctx)
+}
+
 // NewSweeper returns a sweeping engine whose representative mapping can be
 // inspected after Run.
 func NewSweeper(net *Network, classes *Classes, opts SweepOptions) *Sweeper {
@@ -293,6 +318,13 @@ func NewSweeper(net *Network, classes *Classes, opts SweepOptions) *Sweeper {
 // position) using simulation, SAT sweeping and per-output SAT calls.
 func CEC(a, b *Network, opts CECOptions) (CECResult, error) {
 	return sweep.CEC(a, b, opts)
+}
+
+// CECContext is CEC under a context: a deadline or cancel stops guided
+// simulation, sweeping, and the per-output SAT calls promptly; the verdict
+// is then Undecided rather than an error.
+func CECContext(ctx context.Context, a, b *Network, opts CECOptions) (CECResult, error) {
+	return sweep.CECContext(ctx, a, b, opts)
 }
 
 // VerifyCounterexample confirms that a CEC counterexample separates the two
