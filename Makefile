@@ -33,6 +33,19 @@ smoke:
 	done
 	@rm -f .smoke-sweep
 
+# Fuzzing smoke: a short differential+metamorphic campaign (deterministic
+# seed, must be clean), the broken-sweeper self-test (must be caught), and
+# a few seconds of each Go-native parser/ISOP fuzz target.
+FUZZTIME ?= 10s
+.PHONY: fuzz
+fuzz:
+	$(GO) run ./cmd/fuzz -n 200 -seed 1
+	$(GO) run ./cmd/fuzz -n 200 -seed 1 -inject-unsound -oracle differential
+	$(GO) test ./internal/blif -fuzz=FuzzBlifParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/blif -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/aiger -fuzz=FuzzAigerParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/tt -fuzz=FuzzISOP -fuzztime=$(FUZZTIME)
+
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchmem

@@ -195,7 +195,9 @@ func buildNames(net *network.Network, ids map[string]network.NodeID, faninNames,
 				v = true
 			}
 		}
-		return net.AddConst(v), nil
+		id := net.AddConst(v)
+		net.Node(id).Name = outName // keep the signal name for write-back
+		return id, nil
 	}
 
 	onSet := tt.Const(n, false)
@@ -254,12 +256,30 @@ func Write(w io.Writer, net *network.Network) error {
 	}
 	fmt.Fprintf(bw, ".model %s\n", name)
 
+	// Unnamed nodes get generated names, which must never collide with
+	// explicit names ("n4" may legitimately exist as a signal name).
+	used := map[string]bool{}
+	for id := 0; id < net.NumNodes(); id++ {
+		if n := net.Node(network.NodeID(id)).Name; n != "" {
+			used[n] = true
+		}
+	}
+	generated := make(map[network.NodeID]string)
 	nodeName := func(id network.NodeID) string {
 		nd := net.Node(id)
 		if nd.Name != "" {
 			return nd.Name
 		}
-		return fmt.Sprintf("n%d", id)
+		if g, ok := generated[id]; ok {
+			return g
+		}
+		g := fmt.Sprintf("n%d", id)
+		for used[g] {
+			g += "_"
+		}
+		used[g] = true
+		generated[id] = g
+		return g
 	}
 
 	fmt.Fprint(bw, ".inputs")

@@ -2,30 +2,51 @@ package blif
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// FuzzParse exercises the BLIF parser on arbitrary inputs: it must never
-// panic, and anything it accepts must survive a write/re-parse round-trip.
-func FuzzParse(f *testing.F) {
+// FuzzBlifParse exercises the BLIF parser on arbitrary inputs: it must never
+// panic, anything it accepts must survive a write/re-parse round-trip, and
+// the round-tripped network must be byte-identical when written again (the
+// writer is a canonical form, so write∘parse is a fixpoint after one trip).
+func FuzzBlifParse(f *testing.F) {
 	f.Add(sampleBLIF)
 	f.Add(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
 	f.Add(".model m\n.inputs a\n.outputs f\n.names f\n1\n.end\n")
 	f.Add(".model m\n.inputs a\n.outputs a\n.end\n")
 	f.Add(".names x\n")
 	f.Add("garbage\n.names\n- 1\n")
+	// Seed with the fuzz-corpus goldens: shrunk generator output, i.e. the
+	// exact dialect the harness writes.
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "fuzz-corpus", "*.blif")); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(string(data))
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		net, err := Parse(strings.NewReader(src))
 		if err != nil {
 			return
 		}
-		var buf bytes.Buffer
-		if err := Write(&buf, net); err != nil {
+		var first bytes.Buffer
+		if err := Write(&first, net); err != nil {
 			t.Fatalf("accepted network failed to write: %v", err)
 		}
-		if _, err := Parse(bytes.NewReader(buf.Bytes())); err != nil {
-			t.Fatalf("round-trip of accepted input failed: %v\noriginal:\n%s\nwritten:\n%s", err, src, buf.String())
+		net2, err := Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip of accepted input failed: %v\noriginal:\n%s\nwritten:\n%s", err, src, first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, net2); err != nil {
+			t.Fatalf("round-tripped network failed to write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write/parse is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
 		}
 	})
 }

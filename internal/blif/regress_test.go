@@ -1,0 +1,68 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// Regression for a fuzzer finding (corpus 00db2a46e854e1ed): the writer
+// generated "n<id>" fallback names for unnamed nodes without checking for
+// collisions with explicit signal names, so a network containing both an
+// unnamed node with ID 4 and a signal called "n4" wrote a BLIF file that
+// defined "n4" twice and no longer parsed.
+func TestWriteGeneratedNameCollision(t *testing.T) {
+	net := network.New("m")
+	a := net.AddPI("a")
+	c := net.AddConst(true) // id 1, unnamed: fallback name would be "n1"
+	lut := net.AddLUT("n1", []network.NodeID{a}, tt.Var(1, 0))
+	net.AddPO("f", lut)
+	net.AddPO("g", c)
+
+	var first bytes.Buffer
+	if err := Write(&first, net); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	net2, err := Parse(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("written BLIF no longer parses: %v\n%s", err, first.String())
+	}
+	var second bytes.Buffer
+	if err := Write(&second, net2); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("write/parse is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+// Companion fix to the same finding: a ".names sig" table with no inputs
+// parses to a constant node, and its signal name must survive write-back
+// instead of being replaced by a generated one.
+func TestParseKeepsConstantName(t *testing.T) {
+	src := ".model m\n.inputs a\n.outputs f\n.names f\n1\n.end\n"
+	net, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for id := 0; id < net.NumNodes(); id++ {
+		nd := net.Node(network.NodeID(id))
+		if nd.Kind == network.KindConst && nd.Name == "f" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("constant node lost its signal name \"f\"")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".names f\n1\n") {
+		t.Fatalf("written BLIF does not keep the named constant:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,75 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"simgen/internal/blif"
+	"simgen/internal/network"
+)
+
+// CorpusEntry is one golden circuit from the fuzz corpus.
+type CorpusEntry struct {
+	Path string
+	Net  *network.Network
+}
+
+// WriteCorpus saves a (usually shrunk) failing circuit as a BLIF golden file
+// under dir, named after the oracle check and the campaign seed, with a
+// reproduction header comment. It returns the file path.
+func WriteCorpus(dir string, f *Failure) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# simgen fuzz reproducer\n")
+	fmt.Fprintf(&buf, "# check: %s\n", f.Check)
+	fmt.Fprintf(&buf, "# detail: %s\n", sanitizeComment(f.Detail))
+	fmt.Fprintf(&buf, "# reproduce: go run ./cmd/fuzz -seed %d -n %d -shape '%s'\n", f.Seed, f.Iteration+1, f.Shape)
+	if err := blif.Write(&buf, f.Net); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-seed%d-iter%d.blif", f.Check, f.Seed, f.Iteration)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeComment keeps the failure detail on one comment line.
+func sanitizeComment(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 300 {
+		s = s[:300] + "..."
+	}
+	return s
+}
+
+// LoadCorpus parses every .blif golden file under dir, sorted by name.
+// A missing directory yields an empty corpus.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.blif"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	entries := make([]CorpusEntry, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		net, err := blif.Parse(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus file %s: %v", p, err)
+		}
+		net.Name = strings.TrimSuffix(filepath.Base(p), ".blif")
+		entries = append(entries, CorpusEntry{Path: p, Net: net})
+	}
+	return entries, nil
+}

@@ -1,0 +1,39 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFuzzCorpusRegressions replays every golden circuit under
+// testdata/fuzz-corpus/ through both oracles with the current (sound)
+// stack. Each golden is a shrunk circuit that once exposed a sweeper bug
+// (or a deliberately injected one); the sound engines must agree on all of
+// them, forever. New reproducers land here automatically via
+// `cmd/fuzz -corpus testdata/fuzz-corpus`.
+func TestFuzzCorpusRegressions(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "fuzz-corpus")
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no golden circuits in %s; the committed corpus must not be empty", dir)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Net.Name, func(t *testing.T) {
+			if err := e.Net.Check(); err != nil {
+				t.Fatalf("golden circuit invalid: %v", err)
+			}
+			var cfg Config
+			if f := CheckDifferential(e.Net, cfg); f != nil {
+				t.Errorf("differential oracle: %v", f)
+			}
+			// A fixed metamorphic seed keeps the replay deterministic.
+			if f := CheckMetamorphic(e.Net, 1, cfg); f != nil && f.Check != "oracle-limit" {
+				t.Errorf("metamorphic oracle: %v", f)
+			}
+		})
+	}
+}

@@ -1,0 +1,356 @@
+// Package fuzz is the differential fuzzing and metamorphic testing harness
+// for the sweeping stack. It generates seeded random LUT networks with
+// adversarial shapes (XOR-rich cones, functional twins, dangling and
+// constant nodes), cross-checks every verification engine — exhaustive
+// simulation, sequential SAT sweeping, parallel SAT sweeping, and BDD
+// sweeping — against each other on each circuit, applies
+// equivalence-preserving rewrites and single-gate mutations whose CEC
+// verdicts are known in advance, and shrinks any failing circuit to a
+// minimal BLIF reproducer for the golden corpus under testdata/fuzz-corpus.
+//
+// The design follows the cross-engine-agreement argument of hybrid sweeping
+// engines (Chen et al., arXiv:2501.14740) and the seed-reproducible random
+// stimulus of SAT witness generators (Chakraborty et al.): every campaign is
+// fully determined by one integer seed, so a failure printed as
+// "seed=S iteration=I" reproduces with `fuzz -seed S -n I+1`.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// Shape parameterizes the random circuit generator.
+type Shape struct {
+	// PIs is the number of primary inputs (capped at sim.MaxExhaustivePIs-2
+	// so the exhaustive oracle stays cheap).
+	PIs int
+	// Nodes is the number of internal LUT nodes.
+	Nodes int
+	// POs is the number of primary outputs.
+	POs int
+	// MaxFanin bounds each LUT's fanin count (at most tt.MaxVars; typical
+	// mapped networks use 6).
+	MaxFanin int
+	// XORBias is the probability that a node is a parity function — the
+	// SAT-hard, BDD-easy shape that separates the engines.
+	XORBias float64
+	// TwinBias is the probability that a node is a fanin-permuted functional
+	// twin of an earlier node, planting guaranteed equivalences for the
+	// sweepers to prove.
+	TwinBias float64
+	// DepthBias in [0,1] skews fanin selection toward recent nodes: 0 gives
+	// shallow wide networks, 1 gives deep chains.
+	DepthBias float64
+	// ConstBias is the probability of sprinkling an explicit constant node
+	// (and of a node function collapsing to a constant).
+	ConstBias float64
+	// Dangling permits nodes outside every PO cone; when false, every sink
+	// node is promoted to a primary output.
+	Dangling bool
+}
+
+// DefaultShape returns the shape used when the caller does not care: small
+// enough for an exhaustive oracle, rich enough to exercise every engine.
+func DefaultShape() Shape {
+	return Shape{
+		PIs:       8,
+		Nodes:     40,
+		POs:       4,
+		MaxFanin:  4,
+		XORBias:   0.25,
+		TwinBias:  0.2,
+		DepthBias: 0.5,
+		ConstBias: 0.05,
+		Dangling:  true,
+	}
+}
+
+// normalize clamps the shape into the supported ranges.
+func (s Shape) normalize() Shape {
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	clampF := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	s.PIs = clampInt(s.PIs, 1, 14)
+	s.Nodes = clampInt(s.Nodes, 1, 4096)
+	s.POs = clampInt(s.POs, 1, s.Nodes+s.PIs)
+	s.MaxFanin = clampInt(s.MaxFanin, 1, 6)
+	s.XORBias = clampF(s.XORBias)
+	s.TwinBias = clampF(s.TwinBias)
+	s.DepthBias = clampF(s.DepthBias)
+	s.ConstBias = clampF(s.ConstBias)
+	return s
+}
+
+// String renders the shape in the -shape flag syntax.
+func (s Shape) String() string {
+	dangling := 0
+	if s.Dangling {
+		dangling = 1
+	}
+	return fmt.Sprintf("pi=%d,nodes=%d,po=%d,fanin=%d,xor=%g,twin=%g,depth=%g,const=%g,dangling=%d",
+		s.PIs, s.Nodes, s.POs, s.MaxFanin, s.XORBias, s.TwinBias, s.DepthBias, s.ConstBias, dangling)
+}
+
+// ParseShape parses a comma-separated key=value shape description, e.g.
+// "pi=10,nodes=80,fanin=5,xor=0.4". Unknown keys are errors; omitted keys
+// keep their DefaultShape value.
+func ParseShape(spec string) (Shape, error) {
+	s := DefaultShape()
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return s, fmt.Errorf("fuzz: shape term %q is not key=value", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "pi", "nodes", "po", "fanin", "dangling":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return s, fmt.Errorf("fuzz: shape %s=%q: %v", key, val, err)
+			}
+			switch key {
+			case "pi":
+				s.PIs = n
+			case "nodes":
+				s.Nodes = n
+			case "po":
+				s.POs = n
+			case "fanin":
+				s.MaxFanin = n
+			case "dangling":
+				s.Dangling = n != 0
+			}
+		case "xor", "twin", "depth", "const":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return s, fmt.Errorf("fuzz: shape %s=%q: %v", key, val, err)
+			}
+			switch key {
+			case "xor":
+				s.XORBias = f
+			case "twin":
+				s.TwinBias = f
+			case "depth":
+				s.DepthBias = f
+			case "const":
+				s.ConstBias = f
+			}
+		default:
+			return s, fmt.Errorf("fuzz: unknown shape key %q", key)
+		}
+	}
+	return s, nil
+}
+
+// Shapes returns the named preset shapes the campaign cycles through when no
+// explicit -shape is given, each stressing a different engine weakness.
+func Shapes() map[string]Shape {
+	d := DefaultShape()
+	xorHeavy := d
+	xorHeavy.XORBias, xorHeavy.DepthBias = 0.8, 0.8 // deep parity: SAT-hard
+	wide := d
+	wide.PIs, wide.Nodes, wide.DepthBias, wide.TwinBias = 12, 120, 0.1, 0.35
+	tiny := d
+	tiny.PIs, tiny.Nodes, tiny.POs, tiny.MaxFanin = 3, 8, 2, 3
+	consty := d
+	consty.ConstBias, consty.XORBias = 0.3, 0.1 // near-constant cones
+	return map[string]Shape{
+		"default":   d,
+		"xor-heavy": xorHeavy,
+		"wide":      wide,
+		"tiny":      tiny,
+		"const":     consty,
+	}
+}
+
+// ShapeNames returns the preset names in deterministic order.
+func ShapeNames() []string {
+	m := Shapes()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate builds a random LUT network from the shape. The same rng state
+// and shape always produce the identical network.
+func Generate(rng *rand.Rand, shape Shape) *network.Network {
+	s := shape.normalize()
+	net := network.New(fmt.Sprintf("fuzz_pi%d_n%d", s.PIs, s.Nodes))
+	var pool []network.NodeID // candidate fanins, in creation order
+	for i := 0; i < s.PIs; i++ {
+		pool = append(pool, net.AddPI(fmt.Sprintf("x%d", i)))
+	}
+	var luts []network.NodeID // LUT nodes only, twin candidates
+	for i := 0; i < s.Nodes; i++ {
+		switch {
+		case rng.Float64() < s.ConstBias:
+			pool = append(pool, net.AddConst(rng.Intn(2) == 1))
+		case len(luts) > 0 && rng.Float64() < s.TwinBias:
+			id := addTwin(net, rng, luts[rng.Intn(len(luts))])
+			pool = append(pool, id)
+			luts = append(luts, id)
+		default:
+			id := addRandomLUT(net, rng, s, pool)
+			pool = append(pool, id)
+			luts = append(luts, id)
+		}
+	}
+	addPOs(net, rng, s, pool)
+	return net
+}
+
+// addRandomLUT appends one LUT with shape-biased fanins and function.
+func addRandomLUT(net *network.Network, rng *rand.Rand, s Shape, pool []network.NodeID) network.NodeID {
+	k := 1 + rng.Intn(s.MaxFanin)
+	if k > len(pool) {
+		k = len(pool)
+	}
+	fanins := pickFanins(rng, s, pool, k)
+	var fn tt.Table
+	switch {
+	case rng.Float64() < s.XORBias:
+		fn = parity(k, rng.Intn(2) == 1)
+	default:
+		fn = randomTable(rng, k)
+		if rng.Float64() < s.ConstBias {
+			fn = tt.Const(k, rng.Intn(2) == 1) // vacuous-support node
+		}
+	}
+	return net.AddLUT("", fanins, fn)
+}
+
+// addTwin appends a fanin-permuted copy of an existing LUT — functionally
+// identical but structurally distinct, so signature-based simulation must
+// group them and the sweepers must prove (not assume) the equivalence.
+func addTwin(net *network.Network, rng *rand.Rand, of network.NodeID) network.NodeID {
+	nd := net.Node(of)
+	k := len(nd.Fanins)
+	perm := rng.Perm(k)
+	fanins := make([]network.NodeID, k)
+	for i, p := range perm {
+		fanins[i] = nd.Fanins[p]
+	}
+	return net.AddLUT("", fanins, nd.Func.Permute(perm))
+}
+
+// pickFanins draws k distinct fanins from the pool, biased toward recent
+// nodes by DepthBias.
+func pickFanins(rng *rand.Rand, s Shape, pool []network.NodeID, k int) []network.NodeID {
+	chosen := make(map[network.NodeID]bool, k)
+	fanins := make([]network.NodeID, 0, k)
+	for len(fanins) < k {
+		var idx int
+		if rng.Float64() < s.DepthBias {
+			// Recent window: the newest quarter of the pool.
+			win := len(pool) / 4
+			if win < 1 {
+				win = 1
+			}
+			idx = len(pool) - 1 - rng.Intn(win)
+		} else {
+			idx = rng.Intn(len(pool))
+		}
+		id := pool[idx]
+		if chosen[id] {
+			// Distinctness by linear probe keeps the loop terminating even
+			// when the window is smaller than k.
+			for off := 1; off < len(pool); off++ {
+				id = pool[(idx+off)%len(pool)]
+				if !chosen[id] {
+					break
+				}
+			}
+			if chosen[id] {
+				break // pool exhausted
+			}
+		}
+		chosen[id] = true
+		fanins = append(fanins, id)
+	}
+	return fanins
+}
+
+// parity returns the k-input XOR (or XNOR) table.
+func parity(k int, invert bool) tt.Table {
+	t := tt.Const(k, invert)
+	for i := 0; i < k; i++ {
+		t = t.Xor(tt.Var(k, i))
+	}
+	return t
+}
+
+// randomTable draws a uniformly random k-variable truth table.
+func randomTable(rng *rand.Rand, k int) tt.Table {
+	words := make([]uint64, 1)
+	if k > 6 {
+		words = make([]uint64, 1<<(k-6))
+	}
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	return tt.FromWords(k, words)
+}
+
+// addPOs selects output drivers. Sinks (nodes with no fanout) are preferred
+// so the circuit is mostly observable; when Dangling is false every sink
+// becomes an output regardless of the requested PO count.
+func addPOs(net *network.Network, rng *rand.Rand, s Shape, pool []network.NodeID) {
+	hasFanout := make([]bool, net.NumNodes())
+	for id := 0; id < net.NumNodes(); id++ {
+		for _, f := range net.Node(network.NodeID(id)).Fanins {
+			hasFanout[f] = true
+		}
+	}
+	var sinks []network.NodeID
+	for _, id := range pool {
+		if !hasFanout[id] && net.Node(id).Kind != network.KindPI {
+			sinks = append(sinks, id)
+		}
+	}
+	if !s.Dangling {
+		for i, id := range sinks {
+			net.AddPO(fmt.Sprintf("y%d", i), id)
+		}
+		if len(sinks) == 0 {
+			net.AddPO("y0", pool[len(pool)-1])
+		}
+		return
+	}
+	for i := 0; i < s.POs; i++ {
+		var driver network.NodeID
+		if i < len(sinks) {
+			driver = sinks[i]
+		} else {
+			driver = pool[rng.Intn(len(pool))]
+		}
+		net.AddPO(fmt.Sprintf("y%d", i), driver)
+	}
+}

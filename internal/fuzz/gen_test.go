@@ -1,0 +1,100 @@
+package fuzz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"simgen/internal/blif"
+	"simgen/internal/network"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	for _, name := range ShapeNames() {
+		shape := Shapes()[name]
+		t.Run(name, func(t *testing.T) {
+			a := Generate(rand.New(rand.NewSource(7)), shape)
+			if err := a.Check(); err != nil {
+				t.Fatalf("generated network invalid: %v", err)
+			}
+			if a.NumPOs() == 0 {
+				t.Fatal("generated network has no outputs")
+			}
+			if a.NumPIs() > 14 {
+				t.Fatalf("generated network has %d PIs, oracle limit is 14", a.NumPIs())
+			}
+			b := Generate(rand.New(rand.NewSource(7)), shape)
+			var ba, bb bytes.Buffer
+			if err := blif.Write(&ba, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := blif.Write(&bb, b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+				t.Fatal("same seed produced different networks")
+			}
+			c := Generate(rand.New(rand.NewSource(8)), shape)
+			var bc bytes.Buffer
+			if err := blif.Write(&bc, c); err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+				t.Fatal("different seeds produced identical networks")
+			}
+		})
+	}
+}
+
+func TestGenerateNoDanglingWhenForbidden(t *testing.T) {
+	shape := DefaultShape()
+	shape.Dangling = false
+	net := Generate(rand.New(rand.NewSource(3)), shape)
+	driven := make(map[int]bool)
+	for _, po := range net.POs() {
+		for _, id := range net.FaninCone(po.Driver) {
+			driven[int(id)] = true
+		}
+	}
+	for id := 0; id < net.NumNodes(); id++ {
+		if net.Node(network.NodeID(id)).Kind == network.KindPI {
+			continue // an unused input is not dangling logic
+		}
+		if len(net.Fanouts(network.NodeID(id))) == 0 && !driven[id] {
+			t.Fatalf("node %d is dangling despite Dangling=false", id)
+		}
+	}
+}
+
+func TestParseShapeRoundTrip(t *testing.T) {
+	s, err := ParseShape("pi=10,nodes=80,po=6,fanin=5,xor=0.4,twin=0.1,depth=0.9,const=0.2,dangling=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PIs != 10 || s.Nodes != 80 || s.POs != 6 || s.MaxFanin != 5 || s.Dangling {
+		t.Fatalf("parsed shape wrong: %+v", s)
+	}
+	back, err := ParseShape(s.String())
+	if err != nil {
+		t.Fatalf("String() output did not re-parse: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed the shape: %+v vs %+v", back, s)
+	}
+	if _, err := ParseShape("bogus=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseShape("pi"); err == nil {
+		t.Fatal("malformed term accepted")
+	}
+	if _, err := ParseShape(""); err != nil {
+		t.Fatalf("empty spec must yield the default shape: %v", err)
+	}
+}
+
+func TestShapeClamping(t *testing.T) {
+	s := Shape{PIs: 99, Nodes: -5, POs: 0, MaxFanin: 40, XORBias: 7, TwinBias: -1}.normalize()
+	if s.PIs != 14 || s.Nodes != 1 || s.POs != 1 || s.MaxFanin != 6 || s.XORBias != 1 || s.TwinBias != 0 {
+		t.Fatalf("normalize did not clamp: %+v", s)
+	}
+}

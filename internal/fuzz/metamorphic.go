@@ -1,0 +1,313 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simgen/internal/aig"
+	"simgen/internal/mapper"
+	"simgen/internal/network"
+	"simgen/internal/sweep"
+	"simgen/internal/tt"
+)
+
+// CheckMetamorphic applies provably equivalence-preserving rewrites (CEC
+// must report EQ) and a single-gate mutation (CEC must report NEQ with a
+// counterexample that VerifyCounterexample confirms — unless exhaustive
+// simulation shows the mutation is observationally masked, in which case CEC
+// must still report EQ). metaSeed makes the chosen rewrites and mutation
+// deterministic, so a failure reproduces and survives shrinking.
+func CheckMetamorphic(net *network.Network, metaSeed int64, cfg Config) *Failure {
+	cfg.resetFault()
+	if err := net.Check(); err != nil {
+		return &Failure{Check: "invalid-network", Detail: err.Error(), Net: net}
+	}
+	if net.NumPIs() > 14 || net.NumPOs() == 0 {
+		return &Failure{Check: "oracle-limit", Detail: "metamorphic oracle needs 1..14 PIs and at least one PO", Net: net}
+	}
+	rng := rand.New(rand.NewSource(metaSeed))
+
+	variant, rewrites := RewriteEquivalent(rng, net)
+	if f := expectEquivalent(net, variant, rewrites, cfg); f != nil {
+		return f
+	}
+
+	mutant, site := Mutate(rng, net)
+	if mutant == nil {
+		return nil // no LUT to mutate
+	}
+	return expectMutantVerdict(net, mutant, site, cfg)
+}
+
+// cecOptions picks the CEC configuration; worker count alternates with the
+// seed so both the sequential and parallel paths face metamorphic pairs.
+func cecOptions(cfg Config, parallel bool) sweep.CECOptions {
+	opts := sweep.CECOptions{Seed: cfg.Seed, Sweep: cfg.SweepOpts, GuidedIterations: 4}
+	if parallel {
+		opts.Workers = cfg.workers()
+	}
+	return opts
+}
+
+// expectEquivalent demands CEC(a, b) == EQ in both sequential and parallel
+// mode.
+func expectEquivalent(a, b *network.Network, rewrites string, cfg Config) *Failure {
+	for _, parallel := range []bool{false, true} {
+		res, err := sweep.CEC(a, b, cecOptions(cfg, parallel))
+		if err != nil {
+			return &Failure{Check: "rewrite-broke-interface", Net: a,
+				Detail: fmt.Sprintf("rewrites [%s]: CEC refused the pair: %v", rewrites, err)}
+		}
+		switch {
+		case res.Undecided:
+			return &Failure{Check: "eq-undecided", Net: a,
+				Detail: fmt.Sprintf("rewrites [%s] (parallel=%v): CEC undecided on output %q despite unlimited budgets", rewrites, parallel, res.UndecidedPO)}
+		case !res.Equivalent:
+			return &Failure{Check: "eq-reported-neq", Net: a,
+				Detail: fmt.Sprintf("rewrites [%s] (parallel=%v): equivalence-preserving rewrite reported NOT EQUIVALENT on output %q", rewrites, parallel, res.FailedPO)}
+		}
+	}
+	return nil
+}
+
+// expectMutantVerdict checks the NEQ (or masked-EQ) side of the oracle.
+func expectMutantVerdict(net, mutant *network.Network, site string, cfg Config) *Failure {
+	masked := outputsEqual(net, mutant)
+	res, err := sweep.CEC(net, mutant, cecOptions(cfg, false))
+	if err != nil {
+		return &Failure{Check: "mutation-broke-interface", Net: net,
+			Detail: fmt.Sprintf("mutation %s: CEC refused the pair: %v", site, err)}
+	}
+	switch {
+	case res.Undecided:
+		return &Failure{Check: "neq-undecided", Net: net,
+			Detail: fmt.Sprintf("mutation %s: CEC undecided on output %q despite unlimited budgets", site, res.UndecidedPO)}
+	case masked && !res.Equivalent:
+		return &Failure{Check: "masked-mutation-reported-neq", Net: net,
+			Detail: fmt.Sprintf("mutation %s is observationally masked but CEC reported NOT EQUIVALENT on output %q", site, res.FailedPO)}
+	case !masked && res.Equivalent:
+		return &Failure{Check: "mutation-missed", Net: net,
+			Detail: fmt.Sprintf("mutation %s changes an output function but CEC reported EQUIVALENT", site)}
+	case !masked:
+		if ok, _ := sweep.VerifyCounterexample(net, mutant, res.Counterexample); !ok {
+			return &Failure{Check: "bogus-counterexample", Net: net,
+				Detail: fmt.Sprintf("mutation %s: CEC counterexample %v does not separate the circuits", site, res.Counterexample)}
+		}
+	}
+	return nil
+}
+
+// outputsEqual exhaustively compares the PO functions of two networks with
+// identical interfaces.
+func outputsEqual(a, b *network.Network) bool {
+	ta, tb := NodeTables(a), NodeTables(b)
+	for i, po := range a.POs() {
+		if !ta[po.Driver].Equal(tb[b.POs()[i].Driver]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RewriteEquivalent derives a structurally different but functionally
+// identical network by composing randomly chosen equivalence-preserving
+// rewrites. It returns the variant and the names of the applied rewrites.
+func RewriteEquivalent(rng *rand.Rand, net *network.Network) (*network.Network, string) {
+	type rewrite struct {
+		name  string
+		apply func(*rand.Rand, *network.Network) *network.Network
+	}
+	all := []rewrite{
+		{"permute-fanins", permuteFanins},
+		{"insert-buffers", insertBuffers},
+		{"duplicate-nodes", duplicateNodes},
+		{"negate-nodes", negateNodes},
+		{"optimize-roundtrip", optimizeRoundTrip},
+	}
+	out := net
+	var names []string
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		rw := all[rng.Intn(len(all))]
+		out = rw.apply(rng, out)
+		names = append(names, rw.name)
+	}
+	return out, fmt.Sprint(names)
+}
+
+// permuteFanins rewrites random LUTs with shuffled fanin order and the
+// correspondingly permuted table — the identity at the function level.
+func permuteFanins(rng *rand.Rand, net *network.Network) *network.Network {
+	out := net.Clone()
+	for id := 0; id < out.NumNodes(); id++ {
+		nd := out.Node(network.NodeID(id))
+		if nd.Kind != network.KindLUT || len(nd.Fanins) < 2 || rng.Intn(2) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(nd.Fanins))
+		fanins := make([]network.NodeID, len(perm))
+		for i, p := range perm {
+			fanins[i] = nd.Fanins[p]
+		}
+		nd.Fanins = fanins
+		nd.Func = nd.Func.Permute(perm)
+	}
+	out.Invalidate()
+	return out
+}
+
+// rebuild copies net into a fresh network, letting emit intercept each LUT.
+// emit receives the destination, the source node, and its already-mapped
+// fanins, and returns the node that stands for the source node downstream.
+func rebuild(net *network.Network, emit func(dst *network.Network, nd *network.Node, fanins []network.NodeID) network.NodeID) *network.Network {
+	dst := network.New(net.Name)
+	mapping := make([]network.NodeID, net.NumNodes())
+	for id := 0; id < net.NumNodes(); id++ {
+		nid := network.NodeID(id)
+		nd := net.Node(nid)
+		switch nd.Kind {
+		case network.KindPI:
+			mapping[nid] = dst.AddPI(nd.Name)
+		case network.KindConst:
+			mapping[nid] = dst.AddConst(nd.Func.IsConst1())
+		case network.KindLUT:
+			fanins := make([]network.NodeID, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				fanins[i] = mapping[f]
+			}
+			mapping[nid] = emit(dst, nd, fanins)
+		}
+	}
+	for _, po := range net.POs() {
+		dst.AddPO(po.Name, mapping[po.Driver])
+	}
+	return dst
+}
+
+// insertBuffers re-emits random LUTs behind an identity buffer LUT, adding
+// depth without changing any function.
+func insertBuffers(rng *rand.Rand, net *network.Network) *network.Network {
+	return rebuild(net, func(dst *network.Network, nd *network.Node, fanins []network.NodeID) network.NodeID {
+		id := dst.AddLUT(nd.Name, fanins, nd.Func)
+		if rng.Intn(3) == 0 {
+			return dst.AddLUT("", []network.NodeID{id}, tt.Var(1, 0))
+		}
+		return id
+	})
+}
+
+// duplicateNodes emits two copies of random LUTs and routes each consumer to
+// a randomly chosen copy — planting genuine equivalences the sweeper must
+// re-discover during CEC.
+func duplicateNodes(rng *rand.Rand, net *network.Network) *network.Network {
+	dup := make(map[network.NodeID]network.NodeID) // original dst id -> twin dst id
+	return rebuild(net, func(dst *network.Network, nd *network.Node, fanins []network.NodeID) network.NodeID {
+		routed := make([]network.NodeID, len(fanins))
+		for i, f := range fanins {
+			if twin, ok := dup[f]; ok && rng.Intn(2) == 0 {
+				routed[i] = twin
+			} else {
+				routed[i] = f
+			}
+		}
+		id := dst.AddLUT(nd.Name, routed, nd.Func)
+		if rng.Intn(4) == 0 {
+			dup[id] = dst.AddLUT("", routed, nd.Func)
+		}
+		return id
+	})
+}
+
+// negateNodes emits random LUTs with complemented functions and compensates
+// every consumer by flipping the corresponding table variable, so all
+// observable functions are unchanged.
+func negateNodes(rng *rand.Rand, net *network.Network) *network.Network {
+	negated := make(map[network.NodeID]bool) // dst ids carrying inverted polarity
+	out := rebuild(net, func(dst *network.Network, nd *network.Node, fanins []network.NodeID) network.NodeID {
+		fn := nd.Func
+		for i, f := range fanins {
+			if negated[f] {
+				fn = flipVar(fn, i)
+			}
+		}
+		id := dst.AddLUT(nd.Name, fanins, fn)
+		if rng.Intn(4) == 0 {
+			inv := dst.AddLUT("", fanins, fn.Not())
+			negated[inv] = true
+			return inv
+		}
+		return id
+	})
+	// Consumers were compensated in-line, but POs driven by a negated node
+	// still see the wrong polarity: patch them with inverter LUTs.
+	return patchNegatedPOs(out, negated)
+}
+
+// patchNegatedPOs rebuilds the network once more, driving every PO whose
+// driver carries inverted polarity through a fresh inverter.
+func patchNegatedPOs(net *network.Network, negated map[network.NodeID]bool) *network.Network {
+	if len(negated) == 0 {
+		return net
+	}
+	inverter := make(map[network.NodeID]network.NodeID)
+	out := net.Clone()
+	for _, po := range net.POs() {
+		if !negated[po.Driver] {
+			continue
+		}
+		inv, ok := inverter[po.Driver]
+		if !ok {
+			inv = out.AddLUT("", []network.NodeID{po.Driver}, tt.Var(1, 0).Not())
+			inverter[po.Driver] = inv
+		}
+		out.ReplacePODriver(po.Driver, inv)
+	}
+	out.Invalidate()
+	return out
+}
+
+// flipVar returns the table with variable i complemented:
+// t'(..., x_i, ...) = t(..., !x_i, ...).
+func flipVar(t tt.Table, i int) tt.Table {
+	v := tt.Var(t.NumVars(), i)
+	return t.Cofactor(i, false).And(v).Or(t.Cofactor(i, true).AndNot(v))
+}
+
+// optimizeRoundTrip decomposes the network into an AIG, runs the synthesis
+// script, and maps it back into LUTs — a deep structural rewrite that must
+// preserve every output function and the PI/PO interface.
+func optimizeRoundTrip(_ *rand.Rand, net *network.Network) *network.Network {
+	g := aig.FromNetwork(net)
+	g = aig.Optimize(g, nil)
+	out, err := mapper.Map(g, mapper.DefaultOptions())
+	if err != nil {
+		// Mapping a well-formed AIG must not fail; surface it as a CEC
+		// interface error by returning an empty network.
+		return network.New(net.Name + "_maperr")
+	}
+	return out
+}
+
+// Mutate flips one truth-table bit of one randomly chosen LUT, returning the
+// mutant and a description of the site. It returns nil when the network has
+// no LUT nodes.
+func Mutate(rng *rand.Rand, net *network.Network) (*network.Network, string) {
+	var luts []network.NodeID
+	for id := 0; id < net.NumNodes(); id++ {
+		if net.Node(network.NodeID(id)).Kind == network.KindLUT {
+			luts = append(luts, network.NodeID(id))
+		}
+	}
+	if len(luts) == 0 {
+		return nil, ""
+	}
+	target := luts[rng.Intn(len(luts))]
+	out := net.Clone()
+	nd := out.Node(target)
+	m := rng.Intn(nd.Func.NumMinterms())
+	fn := nd.Func.Clone()
+	fn.SetBit(m, !fn.Bit(m))
+	nd.Func = fn
+	out.Invalidate()
+	return out, fmt.Sprintf("node=%d minterm=%d", target, m)
+}

@@ -124,6 +124,54 @@ func SimulateVector(net *network.Network, assign []bool) []bool {
 	return out
 }
 
+// MaxExhaustivePIs is the largest PI count ExhaustiveInputs supports: 2^16
+// vectors (1024 words per node) is the point past which exhaustive
+// enumeration stops being a practical oracle.
+const MaxExhaustivePIs = 16
+
+// ExhaustiveInputs enumerates every assignment of the primary inputs: bit m
+// of the returned words for PI i is the value of PI i on minterm m, where
+// bit i of m is the value of variable i — the same minterm layout as
+// tt.Table. Simulating these inputs therefore yields each node's complete
+// truth table over the PIs (see tt.FromWords). It panics when the network
+// has more than MaxExhaustivePIs inputs.
+func ExhaustiveInputs(net *network.Network) ([]Words, int) {
+	npi := net.NumPIs()
+	if npi > MaxExhaustivePIs {
+		panic("sim: too many primary inputs for exhaustive enumeration")
+	}
+	nwords := 1
+	if npi > 6 {
+		nwords = 1 << (npi - 6)
+	}
+	inputs := make([]Words, npi)
+	for i := range inputs {
+		w := make(Words, nwords)
+		if i < 6 {
+			// Within a word, variable i alternates in blocks of 2^i bits.
+			var pat uint64
+			for m := 0; m < 64; m++ {
+				if m&(1<<uint(i)) != 0 {
+					pat |= 1 << uint(m)
+				}
+			}
+			for j := range w {
+				w[j] = pat
+			}
+		} else {
+			// Across words, variable i alternates in blocks of 2^(i-6) words.
+			period := 1 << (i - 6)
+			for j := range w {
+				if j&period != 0 {
+					w[j] = ^uint64(0)
+				}
+			}
+		}
+		inputs[i] = w
+	}
+	return inputs, nwords
+}
+
 // RandomInputs draws nwords random words for every primary input.
 func RandomInputs(net *network.Network, nwords int, rng *rand.Rand) []Words {
 	inputs := make([]Words, net.NumPIs())

@@ -167,6 +167,8 @@ func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 			panic(fmt.Sprintf("sweep: injected fault on pair (%d,%d)", rep, m))
 		case FaultUnknown:
 			status = sat.Unknown
+		case FaultAssumeEqual:
+			status = sat.Unsat
 		default:
 			enc.EncodeCone(rep)
 			enc.EncodeCone(m)

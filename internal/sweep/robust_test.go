@@ -401,4 +401,3 @@ func TestMaxPairsMarksIncomplete(t *testing.T) {
 		t.Fatal("MaxPairs truncation misreported as a timeout")
 	}
 }
-

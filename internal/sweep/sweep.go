@@ -42,11 +42,15 @@ type Fault int
 
 // Fault kinds. FaultUnknown forces a budget-exhaustion verdict without
 // running the solver; FaultPanic panics mid-solve (recovered and converted
-// to an unresolved verdict by parallel workers).
+// to an unresolved verdict by parallel workers); FaultAssumeEqual skips the
+// SAT check entirely and reports the pair equivalent — an *unsound* verdict
+// that exists so the differential fuzzing oracle (internal/fuzz) can prove
+// it detects a broken sweeper.
 const (
 	FaultNone Fault = iota
 	FaultUnknown
 	FaultPanic
+	FaultAssumeEqual
 )
 
 // Options configures a sweep.
@@ -402,6 +406,9 @@ func (s *Sweeper) checkPair(a, b network.NodeID, res *Result) (sat.Status, []boo
 			return sat.Unknown, nil
 		case FaultPanic:
 			panic(fmt.Sprintf("sweep: injected fault on pair (%d,%d)", a, b))
+		case FaultAssumeEqual:
+			res.SATCalls++
+			return sat.Unsat, nil
 		}
 	}
 	s.enc.EncodeCone(a)

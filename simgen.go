@@ -110,9 +110,10 @@ type (
 
 // Fault kinds for SweepOptions.FaultHook.
 const (
-	FaultNone    = sweep.FaultNone
-	FaultUnknown = sweep.FaultUnknown
-	FaultPanic   = sweep.FaultPanic
+	FaultNone        = sweep.FaultNone
+	FaultUnknown     = sweep.FaultUnknown
+	FaultPanic       = sweep.FaultPanic
+	FaultAssumeEqual = sweep.FaultAssumeEqual
 )
 
 // OUTgold policies.
