@@ -46,9 +46,35 @@ fuzz:
 	$(GO) test ./internal/aiger -fuzz=FuzzAigerParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/tt -fuzz=FuzzISOP -fuzztime=$(FUZZTIME)
 
+# Full-suite benchmarks: one per paper table/figure plus substrate
+# components (repo root bench_test.go).
+.PHONY: bench-full
+bench-full:
+	$(GO) test -bench=. -benchmem
+
+# Simulation-core micro-benchmarks: the arena kernel, incremental
+# resimulation, bucketed refinement, vector packing, and the sweeping
+# counterexample pool. BENCHCOUNT repetitions give the gate stable medians.
+BENCHCOUNT ?= 5
+BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool
 .PHONY: bench
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
+		./internal/sim ./internal/sweep
+
+# Regression gate: re-run the micro-benchmarks and fail when any median
+# time/op regressed >20% against the committed baseline.
+.PHONY: bench-gate
+bench-gate:
+	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
+		./internal/sim ./internal/sweep | tee /tmp/bench_new.txt
+	$(GO) run ./cmd/benchgate -base results/bench_baseline.txt -new /tmp/bench_new.txt
+
+# Refresh the committed baseline (run on the reference machine only).
+.PHONY: bench-baseline
+bench-baseline:
+	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
+		./internal/sim ./internal/sweep | tee results/bench_baseline.txt
 
 .PHONY: experiments
 experiments:

@@ -191,13 +191,34 @@ func BenchmarkAblationRevS(b *testing.B) {
 // --- Substrate benchmarks. ---
 
 // BenchmarkSimulation64 measures bit-parallel simulation of 64 vectors
-// through a mid-size benchmark.
+// through a mid-size benchmark on the production hot path: a compiled
+// Simulator reused across batches, as the runner and the sweeping engines
+// hold it. The "oneshot" arm pays per-call compilation and is the
+// convenience path only.
 func BenchmarkSimulation64(b *testing.B) {
 	net, err := LoadBenchmark("pdc")
 	if err != nil {
 		b.Fatal(err)
 	}
 	run := core.NewRunner(net, 1, 1) // warms the cover cache
+	_ = run
+	rng := rand.New(rand.NewSource(2))
+	inputs := sim.RandomInputs(net, 1, rng)
+	s := sim.NewSimulator(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Simulate(inputs, 1)
+	}
+}
+
+// BenchmarkSimulation64Oneshot measures the package-level convenience path,
+// which compiles a fresh Simulator per call.
+func BenchmarkSimulation64Oneshot(b *testing.B) {
+	net, err := LoadBenchmark("pdc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := core.NewRunner(net, 1, 1)
 	_ = run
 	rng := rand.New(rand.NewSource(2))
 	inputs := sim.RandomInputs(net, 1, rng)

@@ -1,0 +1,133 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// (exit 1) when any benchmark's median time/op regressed beyond a
+// tolerance. It is a dependency-free stand-in for benchstat, built for the
+// CI bench gate: run the micro-benchmarks with -count N, save the output,
+// and compare against the committed baseline.
+//
+// Usage:
+//
+//	benchgate -base results/bench_baseline.txt -new /tmp/bench_new.txt [-tolerance 0.20]
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate (new benchmarks must be able to land before their baseline).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench reads benchmark result lines and returns ns/op samples per
+// benchmark name. The trailing -N GOMAXPROCS suffix is stripped so the
+// same benchmark matches across machines; -count N produces N samples.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name, iterations, value, "ns/op", [more pairs].
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op value %q", path, fields[i])
+			}
+			samples[name] = append(samples[name], v)
+			break
+		}
+	}
+	return samples, sc.Err()
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	base := flag.String("base", "results/bench_baseline.txt", "baseline benchmark output")
+	fresh := flag.String("new", "", "new benchmark output to compare")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional time/op regression")
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+
+	baseSamples, err := parseBench(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newSamples, err := parseBench(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(newSamples) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results in %s\n", *fresh)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newSamples))
+	for name := range newSamples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nm := median(newSamples[name])
+		bs, ok := baseSamples[name]
+		if !ok {
+			fmt.Printf("%-55s %14s %14.0f %8s\n", name, "(none)", nm, "new")
+			continue
+		}
+		bm := median(bs)
+		delta := nm/bm - 1
+		mark := ""
+		if nm > bm*(1+*tolerance) {
+			mark = "  << REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%%%s\n", name, bm, nm, delta*100, mark)
+	}
+	for name := range baseSamples {
+		if _, ok := newSamples[name]; !ok {
+			fmt.Printf("%-55s %14s\n", name, "(missing from new run)")
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%% on median time/op\n",
+			failed, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d benchmarks within %.0f%% of baseline)\n", len(names), *tolerance*100)
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"simgen"
+	"simgen/internal/prof"
 )
 
 func main() {
@@ -33,8 +34,17 @@ func main() {
 		dump       = flag.String("dump-patterns", "", "write all generated vectors to this pattern file")
 		replay     = flag.String("replay", "", "replay vectors from a pattern file instead of generating")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for generation (0 = none)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	ctx := context.Background()
 	if *timeout < 0 {
@@ -96,6 +106,7 @@ func main() {
 		fmt.Printf("timeout after %d/%d iterations; partial cost: %d (%s)\n",
 			completed, *iterations, run.Classes.Cost(), src.Name())
 		flushPatterns(*dump, dumped)
+		stopProf()
 		os.Exit(3)
 	}
 	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())

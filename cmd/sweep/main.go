@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"simgen"
+	"simgen/internal/prof"
 )
 
 // Exit codes.
@@ -67,12 +68,24 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers")
 	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd")
 	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	ctx := context.Background()
 	if cfg.timeout < 0 {
 		fmt.Fprintf(os.Stderr, "sweep: -timeout must be positive, got %v\n", cfg.timeout)
-		os.Exit(exitUsage)
+		exit(exitUsage)
 	}
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
@@ -85,19 +98,19 @@ func main() {
 		code, err := runSweep(ctx, *benchmark, flag.Args(), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(exitFail)
+			exit(exitFail)
 		}
-		os.Exit(code)
+		exit(code)
 	case flag.NArg() == 2:
 		code, err := runCEC(ctx, flag.Arg(0), flag.Arg(1), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(exitFail)
+			exit(exitFail)
 		}
-		os.Exit(code)
+		exit(code)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: sweep [flags] circuit.blif | sweep [flags] a.blif b.blif")
-		os.Exit(exitUsage)
+		exit(exitUsage)
 	}
 }
 

@@ -38,6 +38,11 @@ type Runner struct {
 	// word's worth by default, matching bit-parallel simulation).
 	BatchSize int
 
+	// sim is the reusable arena-backed simulator shared by every
+	// iteration: the kernel program is compiled once and the value arena
+	// is recycled across batches.
+	sim *sim.Simulator
+
 	elapsed time.Duration
 }
 
@@ -50,12 +55,14 @@ func NewRunner(net *network.Network, randRounds int, seed int64) *Runner {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	start := time.Now()
+	simulator := sim.NewSimulator(net)
 	inputs := sim.RandomInputs(net, randRounds, rng)
-	vals := sim.Simulate(net, inputs, randRounds)
+	vals := simulator.Simulate(inputs, randRounds)
 	r := &Runner{
 		Net:       net,
 		Classes:   sim.NewClasses(net, vals),
 		BatchSize: 64,
+		sim:       simulator,
 	}
 	r.elapsed = time.Since(start)
 	return r
@@ -86,8 +93,11 @@ func (r *Runner) StepContext(ctx context.Context, src VectorSource, iteration in
 	}
 	if len(vectors) > 0 {
 		inputs, nwords := sim.PackVectors(r.Net, vectors)
-		if vals, done := sim.SimulateContext(ctx, r.Net, inputs, nwords); done {
-			r.Classes.Refine(vals)
+		if vals, done := r.sim.SimulateContext(ctx, inputs, nwords); done {
+			// Bound the refinement to the packed lanes: PackVectors
+			// zero-pads the final word, and the padding lanes are not
+			// vectors the source generated.
+			r.Classes.RefineN(vals, len(vectors))
 		} else {
 			ok = false
 		}

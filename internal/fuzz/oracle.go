@@ -82,11 +82,13 @@ func (f *Failure) Error() string {
 
 // NodeTables exhaustively simulates the network and returns every node's
 // truth table over the primary inputs — the ground truth all engines are
-// compared against. The network must have at most sim.MaxExhaustivePIs
-// inputs.
+// compared against. It deliberately uses the naive reference evaluator
+// (sim.Reference), not the arena kernel, so the ground truth stays
+// independent of the production simulator the engines run on. The network
+// must have at most sim.MaxExhaustivePIs inputs.
 func NodeTables(net *network.Network) []tt.Table {
 	inputs, nwords := sim.ExhaustiveInputs(net)
-	vals := sim.Simulate(net, inputs, nwords)
+	vals := sim.Reference(net, inputs, nwords)
 	npi := net.NumPIs()
 	tables := make([]tt.Table, net.NumNodes())
 	for id := range tables {

@@ -73,7 +73,8 @@ func SplitPower(net *network.Network, classes *sim.Classes, vectors [][]bool) in
 	before := clone.Cost()
 	inputs, nwords := sim.PackVectors(net, vectors)
 	vals := sim.Simulate(net, inputs, nwords)
-	clone.Refine(vals)
+	// PackVectors zero-pads the final word; only the real lanes may split.
+	clone.RefineN(vals, len(vectors))
 	return before - clone.Cost()
 }
 

@@ -23,6 +23,11 @@ type Values []Words
 // inputs[i] holds the words for the i-th primary input (in network.PIs()
 // order) and must have nwords entries. The returned Values has one entry
 // per node.
+//
+// Each call compiles a fresh arena-backed Simulator; callers on a hot
+// path that simulate the same network repeatedly should hold a Simulator
+// and call its Simulate method instead, which reuses the compiled program
+// and the arena across calls.
 func Simulate(net *network.Network, inputs []Words, nwords int) Values {
 	vals, _ := SimulateContext(context.Background(), net, inputs, nwords)
 	return vals
@@ -37,72 +42,7 @@ const cancelCheckEvery = 4096
 // every few thousand nodes and returns (nil, false) when the context ends
 // before the simulation does. ok is true when every node was evaluated.
 func SimulateContext(ctx context.Context, net *network.Network, inputs []Words, nwords int) (vals Values, ok bool) {
-	if len(inputs) != net.NumPIs() {
-		panic("sim: input count does not match PI count")
-	}
-	vals = make(Values, net.NumNodes())
-	for i, pi := range net.PIs() {
-		if len(inputs[i]) != nwords {
-			panic("sim: input word count mismatch")
-		}
-		vals[pi] = inputs[i]
-	}
-	cancellable := ctx != nil && ctx.Done() != nil
-	scratch := make(Words, nwords)
-	for id := 0; id < net.NumNodes(); id++ {
-		if cancellable && id%cancelCheckEvery == 0 && ctx.Err() != nil {
-			return nil, false
-		}
-		nd := net.Node(network.NodeID(id))
-		switch nd.Kind {
-		case network.KindPI:
-			// already set
-		case network.KindConst:
-			w := make(Words, nwords)
-			if nd.Func.IsConst1() {
-				for i := range w {
-					w[i] = ^uint64(0)
-				}
-			}
-			vals[id] = w
-		case network.KindLUT:
-			vals[id] = evalLUT(net, network.NodeID(id), vals, nwords, scratch)
-		}
-	}
-	return vals, true
-}
-
-// evalLUT computes the node's output words from its on-set cover:
-// OR over cubes of the AND of (possibly complemented) fanin words.
-func evalLUT(net *network.Network, id network.NodeID, vals Values, nwords int, scratch Words) Words {
-	on, _ := net.Covers(id)
-	nd := net.Node(id)
-	out := make(Words, nwords)
-	for _, cube := range on {
-		for w := range scratch {
-			scratch[w] = ^uint64(0)
-		}
-		for i, f := range nd.Fanins {
-			v, cared := cube.Has(i)
-			if !cared {
-				continue
-			}
-			fw := vals[f]
-			if v {
-				for w := 0; w < nwords; w++ {
-					scratch[w] &= fw[w]
-				}
-			} else {
-				for w := 0; w < nwords; w++ {
-					scratch[w] &^= fw[w]
-				}
-			}
-		}
-		for w := 0; w < nwords; w++ {
-			out[w] |= scratch[w]
-		}
-	}
-	return out
+	return NewSimulator(net).SimulateContext(ctx, inputs, nwords)
 }
 
 // SimulateVector evaluates the network on a single input vector; assign[i]
@@ -185,31 +125,42 @@ func RandomInputs(net *network.Network, nwords int, rng *rand.Rand) []Words {
 	return inputs
 }
 
-// PackVectors packs up to 64*ceil(len/64) single-bit vectors into words.
-// vectors[v][i] is the value of PI i under vector v. Unused trailing bit
-// positions replicate the last vector, which is harmless for class
-// refinement (duplicates never split classes incorrectly).
+// PackVectors packs single-bit vectors into words, one word lane per
+// vector. vectors[v][i] is the value of PI i under vector v. Unused
+// trailing bit positions are zero — they are NOT valid vectors. Callers
+// that refine equivalence classes from a partial final word must bound
+// the refinement with Classes.RefineN(vals, len(vectors)) (or pad the
+// vector list themselves); the counterexample pools in internal/sweep
+// control their padding explicitly this way.
+//
+// Packing is word-at-a-time: each output word is assembled in a register
+// from up to 64 vectors before a single store.
 func PackVectors(net *network.Network, vectors [][]bool) ([]Words, int) {
 	if len(vectors) == 0 {
 		return nil, 0
 	}
 	npi := net.NumPIs()
-	nwords := (len(vectors) + 63) / 64
+	nvec := len(vectors)
+	nwords := (nvec + 63) / 64
 	inputs := make([]Words, npi)
-	for i := range inputs {
-		inputs[i] = make(Words, nwords)
-	}
-	for b := 0; b < nwords*64; b++ {
-		v := b
-		if v >= len(vectors) {
-			v = len(vectors) - 1
-		}
-		vec := vectors[v]
-		for i := 0; i < npi; i++ {
-			if vec[i] {
-				inputs[i][b/64] |= 1 << (uint(b) % 64)
+	backing := make(Words, npi*nwords)
+	for i := 0; i < npi; i++ {
+		w := backing[i*nwords : (i+1)*nwords : (i+1)*nwords]
+		for wi := 0; wi < nwords; wi++ {
+			base := wi * 64
+			n := nvec - base
+			if n > 64 {
+				n = 64
 			}
+			var word uint64
+			for b := 0; b < n; b++ {
+				if vectors[base+b][i] {
+					word |= 1 << uint(b)
+				}
+			}
+			w[wi] = word
 		}
+		inputs[i] = w
 	}
 	return inputs, nwords
 }

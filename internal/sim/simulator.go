@@ -1,0 +1,466 @@
+package sim
+
+// This file implements the arena-backed simulation kernel. A Simulator
+// compiles the network once into a flat instruction program (one
+// specialized kernel per node) and evaluates it into a single []uint64
+// arena indexed by nodeID*nwords — no per-node allocations, buffers
+// reused across calls. See DESIGN.md §3.8.
+
+import (
+	"context"
+	"sort"
+
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// opKind selects the evaluation kernel for one node. The dominant cover
+// shapes of K-LUT networks get dedicated kernels; everything else falls
+// back to the generic ISOP cube loop.
+type opKind uint8
+
+const (
+	opInput   opKind = iota // primary input: words copied in by the caller
+	opConst0                // constant 0
+	opConst1                // constant 1
+	opCopy                  // buffer: out = a
+	opNot                   // inverter: out = ^a
+	opAnd                   // single on-set cube: AND of (possibly negated) literals
+	opNand                  // single off-set cube: ^(AND of literals)
+	opXor2                  // 2-input XOR: out = a ^ b
+	opXnor2                 // 2-input XNOR: out = ^(a ^ b)
+	opGeneric               // OR over on-set cubes of AND of literals
+)
+
+// simLit is one literal of a compiled cube: the arena row of the fanin and
+// its polarity.
+type simLit struct {
+	node int32
+	neg  bool
+}
+
+// cubeRef is one cube of a generic instruction: a span of s.lits.
+type cubeRef struct{ off, n int32 }
+
+// instr is the compiled evaluation of one node.
+type instr struct {
+	op               opKind
+	a, b             int32 // fanin rows for opCopy/opNot/opXor2/opXnor2
+	litOff, litCnt   int32 // span of s.lits for opAnd/opNand
+	cubeOff, cubeCnt int32 // span of s.cubes for opGeneric
+}
+
+// Simulator is a reusable bit-parallel evaluator over one network. It
+// compiles the network's ISOP covers into a flat program once, then
+// evaluates arbitrarily many input batches into a single flat arena with
+// no per-node allocation. It additionally supports incremental
+// re-simulation: after SetInput, Resimulate re-evaluates only the
+// transitive fanout cone of the changed inputs, pruning subtrees whose
+// recomputed value did not change.
+//
+// The Values returned by Simulate/SimulateContext/Resimulate are views
+// into the arena: they stay valid (and reflect the latest call) until the
+// next Simulate with a different word count, and are overwritten by every
+// subsequent call. Callers that need the data beyond the next call must
+// copy it. A Simulator is not safe for concurrent use.
+type Simulator struct {
+	net   *network.Network
+	prog  []instr
+	lits  []simLit
+	cubes []cubeRef
+
+	nwords  int
+	arena   []uint64
+	views   Values
+	scratch Words // cube accumulator for opGeneric
+	evalBuf Words // recompute buffer for Resimulate change pruning
+
+	// Incremental state.
+	touched []int32 // staged changed PI rows
+	dirty   []bool  // per node: value changed during the current Resimulate
+	inCone  []bool  // per node: member of the current TFO cone
+	cone    []int32 // scratch list of cone node ids
+}
+
+// NewSimulator compiles the network into a kernel program. The covers
+// cache of the network is populated as a side effect (it is shared with
+// the SAT encoder and pattern generator).
+func NewSimulator(net *network.Network) *Simulator {
+	s := &Simulator{net: net}
+	s.compile()
+	return s
+}
+
+// xorTable and xnorTable are the 2-input tables the compiler matches for
+// the dedicated XOR kernels.
+var (
+	xorTable  = tt.Var(2, 0).Xor(tt.Var(2, 1))
+	xnorTable = tt.Var(2, 0).Xor(tt.Var(2, 1)).Not()
+)
+
+// compile lowers every node to its cheapest kernel.
+func (s *Simulator) compile() {
+	n := s.net.NumNodes()
+	s.prog = make([]instr, n)
+	for id := 0; id < n; id++ {
+		nid := network.NodeID(id)
+		nd := s.net.Node(nid)
+		switch nd.Kind {
+		case network.KindPI:
+			s.prog[id] = instr{op: opInput}
+		case network.KindConst:
+			if nd.Func.IsConst1() {
+				s.prog[id] = instr{op: opConst1}
+			} else {
+				s.prog[id] = instr{op: opConst0}
+			}
+		case network.KindLUT:
+			s.prog[id] = s.compileLUT(nid)
+		}
+	}
+}
+
+// compileLUT selects the kernel for one LUT from the shape of its covers.
+func (s *Simulator) compileLUT(id network.NodeID) instr {
+	nd := s.net.Node(id)
+	on, off := s.net.Covers(id)
+	// Degenerate LUTs (constant functions) have an empty cover on one side.
+	if nd.Func.IsConst0() {
+		return instr{op: opConst0}
+	}
+	if nd.Func.IsConst1() {
+		return instr{op: opConst1}
+	}
+	if len(on) == 1 {
+		lits := s.cubeLits(on[0], nd.Fanins)
+		if len(lits) == 1 {
+			if lits[0].neg {
+				return instr{op: opNot, a: lits[0].node}
+			}
+			return instr{op: opCopy, a: lits[0].node}
+		}
+		return s.litInstr(opAnd, lits)
+	}
+	if len(off) == 1 {
+		// Single off-set cube: the node is the complement of that cube's
+		// AND — the NAND/OR family.
+		return s.litInstr(opNand, s.cubeLits(off[0], nd.Fanins))
+	}
+	if len(nd.Fanins) == 2 && nd.Fanins[0] != nd.Fanins[1] {
+		if nd.Func.Equal(xorTable) {
+			return instr{op: opXor2, a: int32(nd.Fanins[0]), b: int32(nd.Fanins[1])}
+		}
+		if nd.Func.Equal(xnorTable) {
+			return instr{op: opXnor2, a: int32(nd.Fanins[0]), b: int32(nd.Fanins[1])}
+		}
+	}
+	// Generic fallback: the full cube loop over the on-set cover.
+	in := instr{op: opGeneric, cubeOff: int32(len(s.cubes))}
+	for _, cube := range on {
+		lits := s.cubeLits(cube, nd.Fanins)
+		off := int32(len(s.lits))
+		s.lits = append(s.lits, lits...)
+		s.cubes = append(s.cubes, cubeRef{off: off, n: int32(len(lits))})
+	}
+	in.cubeCnt = int32(len(s.cubes)) - in.cubeOff
+	return in
+}
+
+// cubeLits maps one cube's cared variables to arena rows with polarity.
+func (s *Simulator) cubeLits(cube tt.Cube, fanins []network.NodeID) []simLit {
+	lits := make([]simLit, 0, len(fanins))
+	for i, f := range fanins {
+		v, cared := cube.Has(i)
+		if !cared {
+			continue
+		}
+		lits = append(lits, simLit{node: int32(f), neg: !v})
+	}
+	return lits
+}
+
+// litInstr stores a literal list into the flat table and returns the
+// instruction referencing it.
+func (s *Simulator) litInstr(op opKind, lits []simLit) instr {
+	in := instr{op: op, litOff: int32(len(s.lits)), litCnt: int32(len(lits))}
+	s.lits = append(s.lits, lits...)
+	return in
+}
+
+// ensure sizes the arena, views and scratch buffers for nwords.
+func (s *Simulator) ensure(nwords int) {
+	if nwords <= 0 {
+		panic("sim: word count must be positive")
+	}
+	if s.nwords == nwords && s.arena != nil {
+		return
+	}
+	s.nwords = nwords
+	need := len(s.prog) * nwords
+	if cap(s.arena) < need {
+		s.arena = make([]uint64, need)
+	} else {
+		s.arena = s.arena[:need]
+	}
+	if s.views == nil {
+		s.views = make(Values, len(s.prog))
+	}
+	for i := range s.views {
+		s.views[i] = Words(s.arena[i*nwords : (i+1)*nwords : (i+1)*nwords])
+	}
+	if cap(s.scratch) < nwords {
+		s.scratch = make(Words, nwords)
+		s.evalBuf = make(Words, nwords)
+	}
+	s.scratch = s.scratch[:nwords]
+	s.evalBuf = s.evalBuf[:nwords]
+	s.touched = s.touched[:0]
+}
+
+// row returns the arena row of a node.
+func (s *Simulator) row(id int32) Words { return s.views[id] }
+
+// NumWords returns the word count of the most recent simulation.
+func (s *Simulator) NumWords() int { return s.nwords }
+
+// Val returns the current simulation words of one node (a live view into
+// the arena — see the Simulator lifetime rules).
+func (s *Simulator) Val(id network.NodeID) Words { return s.views[id] }
+
+// Values returns the current per-node view slice (live, not copied).
+func (s *Simulator) Values() Values { return s.views }
+
+// Simulate evaluates the network on the given primary-input words,
+// reusing the arena. inputs[i] must hold nwords entries for the i-th PI.
+func (s *Simulator) Simulate(inputs []Words, nwords int) Values {
+	v, _ := s.SimulateContext(context.Background(), inputs, nwords)
+	return v
+}
+
+// SimulateContext is Simulate under a context: it polls for cancellation
+// every few thousand nodes and returns (nil, false) when the context ends
+// first. The arena contents are unspecified after a cancelled run.
+func (s *Simulator) SimulateContext(ctx context.Context, inputs []Words, nwords int) (Values, bool) {
+	if len(inputs) != s.net.NumPIs() {
+		panic("sim: input count does not match PI count")
+	}
+	s.ensure(nwords)
+	for i, pi := range s.net.PIs() {
+		if len(inputs[i]) != nwords {
+			panic("sim: input word count mismatch")
+		}
+		copy(s.views[pi], inputs[i])
+	}
+	cancellable := ctx != nil && ctx.Done() != nil
+	for id := range s.prog {
+		if cancellable && id%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, false
+		}
+		in := &s.prog[id]
+		switch in.op {
+		case opInput:
+			// copied above
+		case opConst0:
+			clearWords(s.views[id])
+		case opConst1:
+			fillWords(s.views[id])
+		default:
+			s.evalInto(in, s.views[id])
+		}
+	}
+	s.touched = s.touched[:0]
+	return s.views, true
+}
+
+// evalInto runs one LUT kernel, writing the result into dst (an arena row
+// or a scratch buffer). dst must not alias any fanin row.
+func (s *Simulator) evalInto(in *instr, dst Words) {
+	switch in.op {
+	case opCopy:
+		copy(dst, s.row(in.a))
+	case opNot:
+		src := s.row(in.a)
+		for w := range dst {
+			dst[w] = ^src[w]
+		}
+	case opXor2:
+		a, b := s.row(in.a), s.row(in.b)
+		for w := range dst {
+			dst[w] = a[w] ^ b[w]
+		}
+	case opXnor2:
+		a, b := s.row(in.a), s.row(in.b)
+		for w := range dst {
+			dst[w] = ^(a[w] ^ b[w])
+		}
+	case opAnd:
+		s.andLits(in, dst)
+	case opNand:
+		s.andLits(in, dst)
+		for w := range dst {
+			dst[w] = ^dst[w]
+		}
+	case opGeneric:
+		clearWords(dst)
+		scratch := s.scratch
+		for _, c := range s.cubes[in.cubeOff : in.cubeOff+in.cubeCnt] {
+			fillWords(scratch)
+			for _, l := range s.lits[c.off : c.off+c.n] {
+				fw := s.row(l.node)
+				if l.neg {
+					for w := range scratch {
+						scratch[w] &^= fw[w]
+					}
+				} else {
+					for w := range scratch {
+						scratch[w] &= fw[w]
+					}
+				}
+			}
+			for w := range dst {
+				dst[w] |= scratch[w]
+			}
+		}
+	}
+}
+
+// andLits ANDs a literal span into dst.
+func (s *Simulator) andLits(in *instr, dst Words) {
+	lits := s.lits[in.litOff : in.litOff+in.litCnt]
+	first := s.row(lits[0].node)
+	if lits[0].neg {
+		for w := range dst {
+			dst[w] = ^first[w]
+		}
+	} else {
+		copy(dst, first)
+	}
+	for _, l := range lits[1:] {
+		fw := s.row(l.node)
+		if l.neg {
+			for w := range dst {
+				dst[w] &^= fw[w]
+			}
+		} else {
+			for w := range dst {
+				dst[w] &= fw[w]
+			}
+		}
+	}
+}
+
+// SetInput stages new words for the i-th primary input (copying them into
+// the arena) ahead of an incremental Resimulate. A full Simulate must
+// have run before; the word count must match it. Inputs whose words are
+// unchanged are ignored.
+func (s *Simulator) SetInput(i int, w Words) {
+	if s.arena == nil {
+		panic("sim: SetInput before a full Simulate")
+	}
+	if len(w) != s.nwords {
+		panic("sim: input word count mismatch")
+	}
+	pi := int32(s.net.PIs()[i])
+	row := s.views[pi]
+	same := true
+	for j := range w {
+		if row[j] != w[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return
+	}
+	copy(row, w)
+	s.touched = append(s.touched, pi)
+}
+
+// Resimulate incrementally re-evaluates the nodes in the transitive
+// fanout cone of the inputs changed via SetInput since the last
+// simulation, in topological order, stopping early along branches whose
+// recomputed value is unchanged. It returns the (live) view slice.
+func (s *Simulator) Resimulate() Values {
+	if len(s.touched) == 0 {
+		return s.views
+	}
+	n := len(s.prog)
+	if s.dirty == nil {
+		s.dirty = make([]bool, n)
+		s.inCone = make([]bool, n)
+	}
+	// Collect the TFO cone of the touched inputs.
+	s.cone = s.cone[:0]
+	stack := append([]int32(nil), s.touched...)
+	for _, id := range s.touched {
+		s.dirty[id] = true
+		s.inCone[id] = true
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range s.net.Fanouts(network.NodeID(id)) {
+			if !s.inCone[fo] {
+				s.inCone[fo] = true
+				s.cone = append(s.cone, int32(fo))
+				stack = append(stack, int32(fo))
+			}
+		}
+	}
+	// Node IDs are a topological order, so sorting the cone gives a valid
+	// evaluation order.
+	sort.Slice(s.cone, func(i, j int) bool { return s.cone[i] < s.cone[j] })
+	for _, id := range s.cone {
+		in := &s.prog[id]
+		if in.op == opInput || in.op == opConst0 || in.op == opConst1 {
+			continue
+		}
+		// Re-evaluate only when a fanin actually changed value.
+		changed := false
+		for _, f := range s.net.Node(network.NodeID(id)).Fanins {
+			if s.dirty[f] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		s.evalInto(in, s.evalBuf)
+		row := s.views[id]
+		same := true
+		for w := range row {
+			if row[w] != s.evalBuf[w] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			copy(row, s.evalBuf)
+			s.dirty[id] = true
+		}
+	}
+	// Reset marks for the next round.
+	for _, id := range s.touched {
+		s.dirty[id] = false
+		s.inCone[id] = false
+	}
+	for _, id := range s.cone {
+		s.dirty[id] = false
+		s.inCone[id] = false
+	}
+	s.touched = s.touched[:0]
+	return s.views
+}
+
+func clearWords(w Words) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+func fillWords(w Words) {
+	for i := range w {
+		w[i] = ^uint64(0)
+	}
+}

@@ -16,12 +16,14 @@ type BDDResult struct {
 	Time       time.Duration // cumulative BDD construction + query time
 	Proved     int
 	Disproved  int
-	Unresolved int  // pairs abandoned after a node-table blow-up
-	BlownUp    bool // the manager hit its node limit at least once
-	FinalCost  int
-	PeakNodes  int  // BDD manager size at the end
-	Incomplete bool // a deadline or cancel stopped the sweep early
-	TimedOut   bool // the early stop was a context deadline
+	Unresolved  int  // pairs abandoned after a node-table blow-up
+	BlownUp     bool // the manager hit its node limit at least once
+	FinalCost   int
+	PeakNodes   int  // BDD manager size at the end
+	PoolFlushes int  // batched counterexample refinements performed
+	PoolLanes   int  // total vector lanes simulated across pool flushes
+	Incomplete  bool // a deadline or cancel stopped the sweep early
+	TimedOut    bool // the early stop was a context deadline
 }
 
 // BDDSweeper verifies candidate equivalences by building canonical BDDs —
@@ -34,6 +36,7 @@ type BDDSweeper struct {
 	Classes *sim.Classes
 	builder *bdd.Builder
 	repOf   map[network.NodeID]network.NodeID
+	pool    *cexPool
 }
 
 // NewBDD creates a BDD sweeper; maxNodes bounds the node table (0 = the
@@ -46,7 +49,20 @@ func NewBDD(net *network.Network, classes *sim.Classes, maxNodes int) *BDDSweepe
 		Classes: classes,
 		builder: b,
 		repOf:   make(map[network.NodeID]network.NodeID),
+		pool:    newCexPool(net, classes),
 	}
+}
+
+// flushPool drains the counterexample pool; pairs a flush failed to
+// separate are dropped by the pool and accounted as unresolved.
+func (s *BDDSweeper) flushPool(res *BDDResult) {
+	if s.pool.empty() {
+		return
+	}
+	lanes := s.pool.lanes
+	res.Unresolved += len(s.pool.flush())
+	res.PoolFlushes++
+	res.PoolLanes += lanes
 }
 
 // Rep returns the proven-equivalence representative of a node.
@@ -97,40 +113,57 @@ loop:
 	return res
 }
 
+// sweepClass processes one class in snapshot passes, mirroring the SAT
+// sweeper: counterexamples accumulate (amplified) in the pool and are
+// refined in 64-lane batches when the word fills or the pass ends, instead
+// of one full-network simulation per counterexample.
 func (s *BDDSweeper) sweepClass(ctx context.Context, ci int, res *BDDResult) bool {
 	worked := false
 	for {
+		s.flushPool(res)
 		members := s.Classes.Members(ci)
-		if len(members) < 2 || ctx.Err() != nil {
+		if len(members) < 2 {
 			return worked
 		}
-		rep, m := members[0], members[1]
-		start := time.Now()
-		cex, differ, err := s.builder.Counterexample(rep, m)
-		res.Time += time.Since(start)
-		res.Checks++
-		worked = true
-		switch {
-		case err != nil:
-			if !errors.Is(err, bdd.ErrNodeLimit) {
-				panic(err) // builder errors other than blow-up are bugs
+		rep := members[0]
+		progress := false
+		for _, m := range members[1:] {
+			if ctx.Err() != nil {
+				s.flushPool(res)
+				return worked
 			}
-			res.BlownUp = true
-			res.Unresolved++
-			s.Classes.Remove(m)
-		case !differ:
-			res.Proved++
-			s.repOf[m] = rep
-			s.Classes.Remove(m)
-		default:
-			res.Disproved++
-			inputs, nwords := sim.PackVectors(s.Net, [][]bool{cex})
-			vals := sim.Simulate(s.Net, inputs, nwords)
-			s.Classes.Refine(vals)
-			if s.Classes.ClassOf(rep) == s.Classes.ClassOf(m) {
-				s.Classes.Remove(m)
+			if cm := s.Classes.ClassOf(m); cm < 0 || cm != s.Classes.ClassOf(rep) {
+				continue
+			}
+			start := time.Now()
+			cex, differ, err := s.builder.Counterexample(rep, m)
+			res.Time += time.Since(start)
+			res.Checks++
+			worked = true
+			progress = true
+			switch {
+			case err != nil:
+				if !errors.Is(err, bdd.ErrNodeLimit) {
+					panic(err) // builder errors other than blow-up are bugs
+				}
+				res.BlownUp = true
 				res.Unresolved++
+				s.Classes.Remove(m)
+			case !differ:
+				res.Proved++
+				s.repOf[m] = rep
+				s.Classes.Remove(m)
+			default:
+				res.Disproved++
+				if s.pool.full() {
+					s.flushPool(res)
+				}
+				s.pool.add(cex, pair{rep, m})
 			}
+		}
+		s.flushPool(res)
+		if !progress {
+			return worked
 		}
 	}
 }

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"simgen/internal/network"
+	"simgen/internal/sim"
+	"simgen/internal/tt"
+)
+
+// benchSweepNet builds a deterministic pseudo-random LUT network for the
+// sweeping benchmarks (internal/fuzz can't be imported here — it depends
+// on this package).
+func benchSweepNet(npis, nluts int, seed int64) *network.Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := network.New("bench")
+	ids := make([]network.NodeID, 0, npis+nluts)
+	for i := 0; i < npis; i++ {
+		ids = append(ids, n.AddPI(""))
+	}
+	for i := 0; i < nluts; i++ {
+		k := 2 + rng.Intn(3)
+		fanins := make([]network.NodeID, k)
+		for j := range fanins {
+			fanins[j] = ids[rng.Intn(len(ids))]
+		}
+		mask := uint64(1)<<(1<<uint(k)) - 1
+		fn := tt.FromWords(k, []uint64{rng.Uint64() & mask})
+		ids = append(ids, n.AddLUT("", fanins, fn))
+	}
+	n.AddPO("o", ids[len(ids)-1])
+	return n
+}
+
+// coarseSweepClasses partitions the nodes from a single all-zeros vector:
+// a deliberately weak partition that floods the sweeper with false
+// candidates, so nearly every SAT call yields a counterexample and the
+// benchmark exercises the pooled refinement path end to end.
+func coarseSweepClasses(net *network.Network) *sim.Classes {
+	inputs := make([]sim.Words, net.NumPIs())
+	for i := range inputs {
+		inputs[i] = sim.Words{0}
+	}
+	return sim.NewClasses(net, sim.Simulate(net, inputs, 1))
+}
+
+// BenchmarkSweepCexPool measures a full sweep whose dominant work is
+// counterexample handling: amplification, pooling, and batched refinement.
+func BenchmarkSweepCexPool(b *testing.B) {
+	net := benchSweepNet(24, 400, 1)
+	net.Covers(0)
+	net.Fanouts(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		classes := coarseSweepClasses(net)
+		b.StartTimer()
+		res := New(net, classes, Options{}).Run()
+		if res.Disproved == 0 {
+			b.Fatal("benchmark exercised no counterexamples")
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"simgen/internal/cnf"
 	"simgen/internal/network"
 	"simgen/internal/sat"
-	"simgen/internal/sim"
 )
 
 // RunParallel sweeps with the given number of worker goroutines, each
@@ -60,6 +59,12 @@ func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 	// nextPair pops an unresolved candidate pair under the lock, skipping
 	// classes another worker is already checking; it returns ok=false when
 	// no unclaimed non-singleton class remains.
+	//
+	// The shared counterexample pool makes class membership stale for nodes
+	// with pending (unflushed) counterexamples: a candidate pair touching
+	// the pool is refined first and the scan restarts, and before concluding
+	// that no work remains the pool is drained — a flush can split classes
+	// into fresh candidate pairs that would otherwise be orphaned.
 	nextPair := func() (rep, m network.NodeID, ok bool) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -67,15 +72,33 @@ func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 			res.Incomplete = true
 			return 0, 0, false
 		}
-		for _, c := range s.Classes.NonSingleton() {
-			members := s.Classes.Members(c)
-			if len(members) < 2 || claimed[members[0]] {
+		for {
+			flushed := false
+			for _, c := range s.Classes.NonSingleton() {
+				members := s.Classes.Members(c)
+				if len(members) < 2 || claimed[members[0]] {
+					continue
+				}
+				if s.pool.touches(members[0], members[1]) {
+					// This pair's membership is stale; refine and rescan
+					// (the flush mutates the partition, invalidating the
+					// non-singleton snapshot being ranged over).
+					s.flushPool(&res)
+					flushed = true
+					break
+				}
+				claimed[members[0]] = true
+				return members[0], members[1], true
+			}
+			if flushed {
 				continue
 			}
-			claimed[members[0]] = true
-			return members[0], members[1], true
+			if !s.pool.empty() {
+				s.flushPool(&res)
+				continue
+			}
+			return 0, 0, false
 		}
-		return 0, 0, false
 	}
 
 	release := func(rep network.NodeID) {
@@ -118,15 +141,15 @@ func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 			}
 			res.Proved++
 		case sat.Sat:
+			// Buffer the (amplified) counterexample instead of refining
+			// immediately; flush() verifies the pair really separates and
+			// nextPair drains the pool before this class is re-claimed.
 			res.Disproved++
 			res.CexVectors++
-			inputs, nwords := sim.PackVectors(s.Net, [][]bool{v.cex})
-			vals := sim.Simulate(s.Net, inputs, nwords)
-			s.Classes.Refine(vals)
-			if s.Classes.ClassOf(v.rep) >= 0 && s.Classes.ClassOf(v.rep) == s.Classes.ClassOf(v.m) {
-				s.Classes.Remove(v.m)
-				res.Unresolved++
+			if s.pool.full() {
+				s.flushPool(&res)
 			}
+			s.pool.add(v.cex, pair{v.rep, v.m})
 		default:
 			if v.cancelled {
 				// Interrupted, not out of budget: leave the pair in its
@@ -213,6 +236,10 @@ func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 		go work()
 	}
 	wg.Wait()
+
+	// Workers interrupted by cancellation or MaxPairs can leave buffered
+	// counterexamples behind; fold them in before the final accounting.
+	s.flushPool(&res)
 
 	// Escalation and BDD fallback run post-join on the sweeper's own
 	// solver; both bail out pair-by-pair once the context is cancelled.

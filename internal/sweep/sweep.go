@@ -105,6 +105,8 @@ type Result struct {
 	Escalations  int  // escalated SAT re-checks performed
 	BDDChecks    int  // pairs referred to the BDD fallback engine
 	WorkerPanics int  // worker panics converted to unresolved verdicts
+	PoolFlushes  int  // batched counterexample refinements performed
+	PoolLanes    int  // total vector lanes simulated across pool flushes
 	Incomplete   bool // a deadline, cancel, or MaxPairs stopped the sweep early
 	TimedOut     bool // the early stop was a context deadline
 }
@@ -121,6 +123,9 @@ func (r Result) String() string {
 	}
 	if r.WorkerPanics > 0 {
 		fmt.Fprintf(&b, " panics=%d", r.WorkerPanics)
+	}
+	if r.PoolFlushes > 0 {
+		fmt.Fprintf(&b, " poolflushes=%d poollanes=%d", r.PoolFlushes, r.PoolLanes)
 	}
 	if r.TimedOut {
 		b.WriteString(" (timed out)")
@@ -144,6 +149,7 @@ type Sweeper struct {
 	solver *sat.Solver
 	enc    *cnf.Encoder
 	repOf  map[network.NodeID]network.NodeID // proven-equivalent representative
+	pool   *cexPool                          // batched counterexample refinement
 }
 
 // New creates a sweeper over the network and its current classes.
@@ -158,6 +164,7 @@ func New(net *network.Network, classes *sim.Classes, opts Options) *Sweeper {
 		solver:  solver,
 		enc:     cnf.NewEncoder(net, solver),
 		repOf:   make(map[network.NodeID]network.NodeID),
+		pool:    newCexPool(net, classes),
 	}
 }
 
@@ -183,11 +190,29 @@ func (s *Sweeper) merge(rep, m network.NodeID) {
 	s.solver.AddClause(s.enc.Lit(rep, false), s.enc.Lit(m, true))
 }
 
-// refineWith re-simulates one counterexample vector into the partition.
-func (s *Sweeper) refineWith(cex []bool) {
-	inputs, nwords := sim.PackVectors(s.Net, [][]bool{cex})
-	vals := sim.Simulate(s.Net, inputs, nwords)
-	s.Classes.Refine(vals)
+// flushPool drains the counterexample pool into the partition. Pairs a
+// flush failed to separate (defective counterexamples) are dropped from
+// their classes by the pool and accounted here as unresolved.
+func (s *Sweeper) flushPool(res *Result) {
+	if s.pool.empty() {
+		return
+	}
+	lanes := s.pool.lanes
+	res.Unresolved += len(s.pool.flush())
+	res.PoolFlushes++
+	res.PoolLanes += lanes
+}
+
+// refineCex feeds one counterexample through the pool — gaining the
+// distance-1 amplification lanes — and flushes immediately. Used on paths
+// (escalation, BDD fallback) that must observe the refined partition right
+// away.
+func (s *Sweeper) refineCex(cex []bool, pr pair, res *Result) {
+	if s.pool.full() {
+		s.flushPool(res)
+	}
+	s.pool.add(cex, pr)
+	s.flushPool(res)
 }
 
 // Run sweeps every non-singleton class until each candidate pair is proven,
@@ -240,55 +265,82 @@ func (s *Sweeper) runMain(ctx context.Context, res *Result) []pair {
 }
 
 // sweepClass processes one class; it reports whether any SAT call was made.
+//
+// The class is swept in snapshot passes: the member list is captured once
+// per pass and every member is checked against the (stable) representative.
+// Counterexamples are not refined one at a time — they accumulate in the
+// pool, each amplified with distance-1 PI flips, and are flushed through a
+// single batched simulate+refine when the 64-lane word fills or the pass
+// ends. Within a pass the partition is deliberately consulted stale: a
+// pending counterexample that would separate a later member only costs one
+// extra (quick) SAT call, while flushing per counterexample would cost a
+// full-network simulation each time.
 func (s *Sweeper) sweepClass(ctx context.Context, ci int, res *Result, deferred *[]pair) bool {
 	worked := false
 	for {
+		// Flush so the pass starts from current membership.
+		s.flushPool(res)
 		members := s.Classes.Members(ci)
 		if len(members) < 2 {
 			return worked
 		}
 		rep := members[0]
-		m := members[1]
-		if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
-			return worked
-		}
-		status, cex := s.checkPair(rep, m, res)
-		worked = true
-		switch status {
-		case sat.Unsat:
-			// Proven equivalent: merge m into rep, teach the solver.
-			s.merge(rep, m)
-			s.Classes.Remove(m)
-			res.Proved++
-		case sat.Sat:
-			// Counterexample: simulate and refine all classes.
-			res.Disproved++
-			res.CexVectors++
-			s.refineWith(cex)
-			if s.Classes.ClassOf(rep) == s.Classes.ClassOf(m) {
-				// Defensive: a counterexample must separate the pair; if
-				// it somehow did not, drop the member to guarantee
-				// termination.
-				s.Classes.Remove(m)
-				res.Unresolved++
-			}
-		default:
+		progress := false
+		for _, m := range members[1:] {
 			if ctx.Err() != nil {
-				// Interrupted, not out of budget: leave the pair in its
-				// class so the partial result still reports it as an open
-				// candidate, and stop.
+				s.flushPool(res)
 				res.Incomplete = true
 				return worked
 			}
-			// Budget exhausted: drop the member from its class so the base
-			// sweep terminates, and hand it to the escalation ladder (or
-			// give it up when escalation is disabled).
-			s.Classes.Remove(m)
-			if s.Opts.MaxEscalations > 0 || s.Opts.BDDFallback {
-				*deferred = append(*deferred, pair{rep, m})
-			} else {
-				res.Unresolved++
+			if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
+				s.flushPool(res)
+				return worked
 			}
+			// Skip members an earlier flush or merge already separated.
+			if cm := s.Classes.ClassOf(m); cm < 0 || cm != s.Classes.ClassOf(rep) {
+				continue
+			}
+			status, cex := s.checkPair(rep, m, res)
+			worked = true
+			progress = true
+			switch status {
+			case sat.Unsat:
+				// Proven equivalent: merge m into rep, teach the solver.
+				s.merge(rep, m)
+				s.Classes.Remove(m)
+				res.Proved++
+			case sat.Sat:
+				// Counterexample: buffer it (amplified) for batched
+				// refinement. flush() verifies the pair really separates.
+				res.Disproved++
+				res.CexVectors++
+				if s.pool.full() {
+					s.flushPool(res)
+				}
+				s.pool.add(cex, pair{rep, m})
+			default:
+				if ctx.Err() != nil {
+					// Interrupted, not out of budget: leave the pair in
+					// its class so the partial result still reports it as
+					// an open candidate, and stop.
+					s.flushPool(res)
+					res.Incomplete = true
+					return worked
+				}
+				// Budget exhausted: drop the member from its class so the
+				// base sweep terminates, and hand it to the escalation
+				// ladder (or give it up when escalation is disabled).
+				s.Classes.Remove(m)
+				if s.Opts.MaxEscalations > 0 || s.Opts.BDDFallback {
+					*deferred = append(*deferred, pair{rep, m})
+				} else {
+					res.Unresolved++
+				}
+			}
+		}
+		s.flushPool(res)
+		if !progress {
+			return worked
 		}
 	}
 }
@@ -328,7 +380,7 @@ func (s *Sweeper) escalate(ctx context.Context, deferred []pair, res *Result) []
 			case sat.Sat:
 				res.Disproved++
 				res.CexVectors++
-				s.refineWith(cex)
+				s.refineCex(cex, pair{rep, m}, res)
 			default:
 				if ctx.Err() != nil {
 					res.Incomplete = true
@@ -381,7 +433,7 @@ func (s *Sweeper) bddFallback(ctx context.Context, deferred []pair, res *Result)
 		default:
 			res.Disproved++
 			res.CexVectors++
-			s.refineWith(cex)
+			s.refineCex(cex, pair{rep, p.m}, res)
 		}
 	}
 }
