@@ -8,6 +8,16 @@ check: vet build test smoke
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Skips gracefully when the staticcheck binary
+# is not installed (CI installs it; local runs may not have it).
+.PHONY: staticcheck
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: binary not found, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 .PHONY: build
 build:
 	$(GO) build ./...
@@ -56,7 +66,7 @@ bench-full:
 # resimulation, bucketed refinement, vector packing, and the sweeping
 # counterexample pool. BENCHCOUNT repetitions give the gate stable medians.
 BENCHCOUNT ?= 5
-BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool
+BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler
 .PHONY: bench
 bench:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \

@@ -31,6 +31,7 @@ func main() {
 		randRounds = flag.Int("random-rounds", 1, "initial random rounds (64 vectors each)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		list       = flag.Bool("list", false, "list built-in benchmarks and exit")
+		engine     = flag.String("engine", "none", "sweep the refined classes afterwards: none|sat|bdd|portfolio")
 		dump       = flag.String("dump-patterns", "", "write all generated vectors to this pattern file")
 		replay     = flag.String("replay", "", "replay vectors from a pattern file instead of generating")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for generation (0 = none)")
@@ -111,6 +112,30 @@ func main() {
 	}
 	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
 	flushPatterns(*dump, dumped)
+	if err := finalSweep(ctx, net, run, *engine); err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// finalSweep settles the refined candidate classes with the selected proof
+// engine, turning the generation run into an end-to-end sweep: the per-
+// iteration cost column above is exactly the worst-case number of proof
+// obligations this pass now discharges.
+func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string) error {
+	if engine == "none" {
+		return nil
+	}
+	kind, err := simgen.ParseSweepEngine(engine)
+	if err != nil {
+		return err
+	}
+	sw := simgen.NewSweeper(net, run.Classes, simgen.SweepOptions{Engine: kind})
+	res := sw.RunContext(ctx)
+	fmt.Printf("%s sweep: %s\n", engine, res)
+	fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d\n",
+		res.Proved, res.Disproved, res.FinalCost)
+	return nil
 }
 
 // flushPatterns writes the recorded vectors (including partial runs cut

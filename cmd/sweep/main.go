@@ -66,7 +66,7 @@ func main() {
 	flag.BoolVar(&cfg.bddFallback, "bdd-fallback", false, "retry pairs that exhaust the final rung on the BDD engine")
 	flag.IntVar(&cfg.bddNodes, "bdd-nodes", 1<<20, "BDD fallback node limit (0 = manager default)")
 	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers")
-	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd")
+	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd|portfolio")
 	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -164,8 +164,12 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 	code := exitOK
 	var rep func(simgen.NodeID) simgen.NodeID
 	switch cfg.engine {
-	case "sat":
-		sw := simgen.NewSweeper(net, run.Classes, cfg.sweepOptions())
+	case "sat", "portfolio":
+		opts := cfg.sweepOptions()
+		if cfg.engine == "portfolio" {
+			opts.Engine = simgen.EnginePortfolio
+		}
+		sw := simgen.NewSweeper(net, run.Classes, opts)
 		var res simgen.SweepResult
 		if cfg.workers > 1 {
 			res = sw.RunParallelContext(ctx, cfg.workers)
@@ -173,7 +177,7 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 			res = sw.RunContext(ctx)
 		}
 		rep = sw.Rep
-		fmt.Printf("SAT sweeping: %s\n", res)
+		fmt.Printf("%s sweeping: %s\n", cfg.engine, res)
 		fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d\n",
 			res.Proved, res.Disproved, res.FinalCost)
 		if res.Incomplete {

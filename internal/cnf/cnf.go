@@ -116,6 +116,26 @@ func (e *Encoder) AssertDiffer(a, b network.NodeID) bool {
 	return e.Solver.AddClause(la.Not(), lb.Not())
 }
 
+// Miter encodes both fanin cones and returns the positive literal of a
+// fresh XOR output: assuming it asks the solver whether the nodes can
+// differ (UNSAT proves equivalence). The literal is meant to be assumed,
+// never asserted, so later calls stay unconstrained.
+func (e *Encoder) Miter(a, b network.NodeID) sat.Lit {
+	e.EncodeCone(a)
+	e.EncodeCone(b)
+	return e.XorLit(e.Lit(a, false), e.Lit(b, false))
+}
+
+// LearnEqual asserts that two nodes are equal, encoding their cones if
+// needed. Used to teach the solver equivalences proven elsewhere so later
+// miters over the merged cones become trivial.
+func (e *Encoder) LearnEqual(a, b network.NodeID) {
+	e.EncodeCone(a)
+	e.EncodeCone(b)
+	e.Solver.AddClause(e.Lit(a, true), e.Lit(b, false))
+	e.Solver.AddClause(e.Lit(a, false), e.Lit(b, true))
+}
+
 // XorLit introduces a fresh variable x with x <-> (a XOR b) and returns its
 // positive literal; used to build multi-output miters.
 func (e *Encoder) XorLit(a, b sat.Lit) sat.Lit {

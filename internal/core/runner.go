@@ -71,6 +71,11 @@ func NewRunner(net *network.Network, randRounds int, seed int64) *Runner {
 // Elapsed returns the cumulative generation+simulation time.
 func (r *Runner) Elapsed() time.Duration { return r.elapsed }
 
+// Simulator exposes the runner's compiled arena-backed simulator so later
+// pipeline stages (e.g. the sweeping scheduler's counterexample pool) can
+// reuse it instead of compiling a second kernel for the same network.
+func (r *Runner) Simulator() *sim.Simulator { return r.sim }
+
 // Step runs one iteration with the source: generate a batch, simulate it,
 // refine the classes. It reports the resulting statistics.
 func (r *Runner) Step(src VectorSource, iteration int) IterationStat {

@@ -187,6 +187,15 @@ func runEngines(net *network.Network, cfg Config) []engineRun {
 		name: "bdd", rep: bdd.Rep,
 		unresolved: bres.Unresolved, incomplete: bres.Incomplete,
 	})
+
+	portOpts := cfg.SweepOpts
+	portOpts.Engine = sweep.EnginePortfolio
+	port := sweep.New(net, freshClasses(), portOpts)
+	portRes := port.Run()
+	runs = append(runs, engineRun{
+		name: "portfolio", rep: port.Rep,
+		unresolved: portRes.Unresolved, incomplete: portRes.Incomplete,
+	})
 	return runs
 }
 

@@ -1,0 +1,137 @@
+package fuzz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"simgen/internal/blif"
+	"simgen/internal/network"
+	"simgen/internal/sweep"
+)
+
+// netString renders a network canonically for structural comparison.
+func netString(t *testing.T, net *network.Network) string {
+	t.Helper()
+	var b strings.Builder
+	if err := blif.Write(&b, net); err != nil {
+		t.Fatalf("write blif: %v", err)
+	}
+	return b.String()
+}
+
+// TestSchedulerParitySequentialVsParallel is the unified-scheduler parity
+// gate: with unlimited budgets, the same network and seed must produce the
+// identical proven-pair set (hence identical representative mapping — the
+// union-find always roots a merge group at its smallest node id) and the
+// identical sweep.Apply reduction for workers=1 and workers=4, across every
+// fuzz preset.
+func TestSchedulerParitySequentialVsParallel(t *testing.T) {
+	cfg := Config{Seed: 99}
+	for _, name := range ShapeNames() {
+		shape := Shapes()[name]
+		for trial := 0; trial < 3; trial++ {
+			seed := iterationSeed(99, trial)
+			net := Generate(rand.New(rand.NewSource(seed)), shape)
+
+			seq := sweep.New(net, coarseClasses(net, cfg), sweep.Options{})
+			seqRes := seq.Run()
+			par := sweep.New(net, coarseClasses(net, cfg), sweep.Options{})
+			parRes := par.RunParallel(4)
+
+			if seqRes.Proved != parRes.Proved {
+				t.Fatalf("%s/%d: proved %d sequential vs %d parallel",
+					name, trial, seqRes.Proved, parRes.Proved)
+			}
+			for id := 0; id < net.NumNodes(); id++ {
+				nid := network.NodeID(id)
+				if seq.Rep(nid) != par.Rep(nid) {
+					t.Fatalf("%s/%d: node %d rep %d sequential vs %d parallel",
+						name, trial, nid, seq.Rep(nid), par.Rep(nid))
+				}
+			}
+			seqApply := netString(t, sweep.Apply(net, seq.Rep))
+			parApply := netString(t, sweep.Apply(net, par.Rep))
+			if seqApply != parApply {
+				t.Fatalf("%s/%d: sweep.Apply output differs between workers=1 and workers=4",
+					name, trial)
+			}
+		}
+	}
+}
+
+// TestPortfolioResolvesTightBudgetPairs is the ISSUE acceptance check: on a
+// fuzz preset under a tight conflict budget, the SAT-only engine abandons
+// pairs as Unresolved while the portfolio — free simulation proofs for
+// small-support pairs plus the BDD fallback — resolves them.
+func TestPortfolioResolvesTightBudgetPairs(t *testing.T) {
+	cfg := Config{Seed: 5}
+	tight := sweep.Options{ConflictBudget: 1}
+	shape := Shapes()["xor-heavy"]
+	found := false
+	for trial := 0; trial < 20 && !found; trial++ {
+		seed := iterationSeed(5, trial)
+		net := Generate(rand.New(rand.NewSource(seed)), shape)
+
+		satOnly := sweep.New(net, coarseClasses(net, cfg), tight)
+		satRes := satOnly.Run()
+		if satRes.Unresolved == 0 {
+			continue // SAT settled everything within one conflict; try another circuit
+		}
+		found = true
+
+		portOpts := tight
+		portOpts.Engine = sweep.EnginePortfolio
+		port := sweep.New(net, coarseClasses(net, cfg), portOpts)
+		portRes := port.Run()
+		if portRes.Unresolved >= satRes.Unresolved {
+			t.Fatalf("portfolio left %d pairs unresolved, SAT-only left %d — portfolio must resolve more",
+				portRes.Unresolved, satRes.Unresolved)
+		}
+		if portRes.SimChecks == 0 && portRes.BDDChecks == 0 {
+			t.Fatal("portfolio resolved extra pairs without using its sim or BDD stages")
+		}
+		t.Logf("trial %d: sat-only unresolved=%d, portfolio unresolved=%d (simchecks=%d bddchecks=%d)",
+			trial, satRes.Unresolved, portRes.Unresolved, portRes.SimChecks, portRes.BDDChecks)
+	}
+	if !found {
+		t.Fatal("no circuit produced unresolved pairs under a 1-conflict budget; test is vacuous")
+	}
+}
+
+// TestUnsoundPortfolioCaught re-runs the -inject-unsound self-test with the
+// portfolio engine selected, proving the differential oracle still catches
+// an unsound verdict that travels through the portfolio's SAT stage.
+// SimPIs is pinned low so the simulation stage cannot prove the faulted
+// pair before the SAT stage is consulted.
+func TestUnsoundPortfolioCaught(t *testing.T) {
+	fired := false
+	cfg := Config{
+		ResetFault: func() { fired = false },
+		SweepOpts: sweep.Options{
+			Engine: sweep.EnginePortfolio,
+			SimPIs: 1,
+			FaultHook: func(a, b network.NodeID) sweep.Fault {
+				if !fired {
+					fired = true
+					return sweep.FaultAssumeEqual
+				}
+				return sweep.FaultNone
+			},
+		},
+	}
+	for i := 0; i < 200; i++ {
+		seed := iterationSeed(4242, i)
+		shape := Shapes()[ShapeNames()[i%len(ShapeNames())]]
+		net := Generate(rand.New(rand.NewSource(seed)), shape)
+		if failure := CheckDifferential(net, cfg); failure != nil {
+			if failure.Check != "unsound-merge" && failure.Check != "missed-merge" &&
+				failure.Check != "apply-mismatch" {
+				t.Fatalf("unexpected failure kind %q: %s", failure.Check, failure.Detail)
+			}
+			t.Logf("caught at iteration %d: %s", i, failure.Check)
+			return
+		}
+	}
+	t.Fatal("unsound portfolio survived 200 fuzzing iterations undetected")
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"simgen/internal/network"
+	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
 
@@ -76,6 +77,34 @@ func SplitPower(net *network.Network, classes *sim.Classes, vectors [][]bool) in
 	// PackVectors zero-pads the final word; only the real lanes may split.
 	clone.RefineN(vals, len(vectors))
 	return before - clone.Cost()
+}
+
+// FreePairFraction returns the fraction of candidate proof obligations —
+// each non-singleton class member paired against its representative — whose
+// combined structural support is at most maxPIs primary inputs. Those pairs
+// are "free": the portfolio's exhaustive-simulation engine settles them
+// without a SAT call, so this fraction predicts how much of a sweep the
+// portfolio discharges for nothing. maxPIs <= 0 uses the portfolio default.
+// Returns 0 when the partition has no candidate pairs.
+func FreePairFraction(net *network.Network, classes *sim.Classes, maxPIs int) float64 {
+	if maxPIs <= 0 {
+		maxPIs = prover.DefaultSimPIs
+	}
+	free, total := 0, 0
+	for _, ci := range classes.NonSingleton() {
+		members := classes.Members(ci)
+		rep := members[0]
+		for _, m := range members[1:] {
+			total++
+			if len(prover.Support(net, rep, m)) <= maxPIs {
+				free++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(free) / float64(total)
 }
 
 // StuckNodes counts nodes that never change value across the vectors —

@@ -7,6 +7,7 @@ import (
 	"simgen/internal/core"
 	"simgen/internal/genbench"
 	"simgen/internal/network"
+	"simgen/internal/sim"
 	"simgen/internal/tt"
 )
 
@@ -145,5 +146,45 @@ func TestDistance(t *testing.T) {
 	// or 2 bits; the mean must be well below random (~width/2).
 	if d > 3/float64(net.NumPIs()) {
 		t.Fatalf("1-distance vectors too far apart: %v", d)
+	}
+}
+
+func TestFreePairFraction(t *testing.T) {
+	// Two identical AND gates over the same two PIs: one candidate pair
+	// with combined support 2.
+	n := network.New("free")
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	and2 := tt.Var(2, 0).And(tt.Var(2, 1))
+	x := n.AddLUT("x", []network.NodeID{a, b}, and2)
+	y := n.AddLUT("y", []network.NodeID{a, b}, and2)
+	n.AddPO("px", x)
+	n.AddPO("py", y)
+
+	rng := rand.New(rand.NewSource(7))
+	classes := sim.NewClasses(n, sim.Simulate(n, sim.RandomInputs(n, 1, rng), 1))
+	if got := FreePairFraction(n, classes, 2); got != 1 {
+		t.Fatalf("support-2 pair with maxPIs=2: fraction %v, want 1", got)
+	}
+	if got := FreePairFraction(n, classes, 1); got != 0 {
+		t.Fatalf("support-2 pair with maxPIs=1: fraction %v, want 0", got)
+	}
+	// maxPIs <= 0 falls back to the portfolio default cutoff (>= 2 here).
+	if got := FreePairFraction(n, classes, 0); got != 1 {
+		t.Fatalf("default cutoff: fraction %v, want 1", got)
+	}
+}
+
+func TestFreePairFractionBounds(t *testing.T) {
+	net := loadNet(t, "misex3c")
+	rng := rand.New(rand.NewSource(11))
+	classes := sim.NewClasses(net, sim.Simulate(net, sim.RandomInputs(net, 1, rng), 1))
+	frac := FreePairFraction(net, classes, 0)
+	if frac < 0 || frac > 1 {
+		t.Fatalf("fraction out of range: %v", frac)
+	}
+	// Every pair is free when the cutoff covers the whole input space.
+	if got := FreePairFraction(net, classes, net.NumPIs()); got != 1 {
+		t.Fatalf("cutoff = all PIs: fraction %v, want 1", got)
 	}
 }

@@ -1,0 +1,63 @@
+package prover
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"simgen/internal/bdd"
+	"simgen/internal/network"
+)
+
+// BDD proves pairs on canonical decision diagrams. Equivalence queries are
+// constant-time reference comparisons once the BDDs exist, but construction
+// can blow up exponentially — the manager's node limit bounds each check,
+// so Budget is ignored and a blow-up yields Unknown.
+type BDD struct {
+	builder *bdd.Builder
+}
+
+// NewBDD creates a BDD engine; maxNodes bounds the node table (0 = the
+// manager default).
+func NewBDD(net *network.Network, maxNodes int) *BDD {
+	b := bdd.NewBuilder(net)
+	b.M.MaxNodes = maxNodes
+	return &BDD{builder: b}
+}
+
+// Name implements Engine.
+func (e *BDD) Name() string { return "bdd" }
+
+// Prove implements Engine.
+func (e *BDD) Prove(ctx context.Context, a, b network.NodeID, _ Budget) Result {
+	var res Result
+	start := time.Now()
+	cex, differ, err := e.builder.Counterexample(a, b)
+	res.Stats.Time = time.Since(start)
+	res.Stats.BDDChecks++
+	switch {
+	case err != nil:
+		if !errors.Is(err, bdd.ErrNodeLimit) {
+			panic(err) // builder errors other than blow-up are bugs
+		}
+		res.Stats.BDDBlowups++
+	case !differ:
+		res.Verdict = Equal
+	default:
+		res.Verdict = Differ
+		res.Cex = cex
+	}
+	return res
+}
+
+// Learn implements Engine. Canonical representations need no hints: a
+// proven-equal pair already shares one BDD node.
+func (e *BDD) Learn(a, b network.NodeID) {}
+
+// Watch implements Engine. Individual checks are bounded by the node
+// limit; the scheduler's between-check context polling suffices.
+func (e *BDD) Watch(ctx context.Context) (stop func()) { return func() {} }
+
+// PeakNodes reports the manager's node-table size, for results that expose
+// BDD memory pressure.
+func (e *BDD) PeakNodes() int { return e.builder.M.NumNodes() }

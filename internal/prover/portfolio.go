@@ -1,0 +1,121 @@
+package prover
+
+import (
+	"context"
+
+	"simgen/internal/network"
+)
+
+// Policy is the portfolio's degradation schedule — what used to be
+// hard-coded across the sweep engines' escalation and fallback phases.
+type Policy struct {
+	// SimPIs enables the exhaustive-simulation engine for pairs whose
+	// combined support has at most this many PIs; 0 disables it.
+	SimPIs int
+	// EscalationFactor multiplies the SAT budgets on each escalation rung;
+	// values below 2 mean the default of 4.
+	EscalationFactor int
+	// MaxEscalations is the number of escalation rungs a budget-exhausted
+	// pair may climb before the BDD fallback; 0 disables escalation.
+	MaxEscalations int
+	// BDDFallback re-checks pairs that exhausted the final rung on the BDD
+	// engine under BDDNodeLimit.
+	BDDFallback bool
+	// BDDNodeLimit bounds the fallback BDD manager's node table; 0 means
+	// the manager default.
+	BDDNodeLimit int
+}
+
+// factor returns the effective ladder multiplier.
+func (p Policy) factor() int64 {
+	if p.EscalationFactor < 2 {
+		return 4
+	}
+	return int64(p.EscalationFactor)
+}
+
+// Portfolio chains engines cheapest-first: free exhaustive-simulation
+// proofs for small-support pairs, then the SAT miter up an escalation
+// ladder of growing budgets, then canonical BDDs whose cost model (node
+// count, not conflicts) settles pairs SAT finds hard. The ladder and
+// fallback live here as policy, not engine code.
+type Portfolio struct {
+	net    *network.Network
+	policy Policy
+
+	sim *Sim // nil when disabled
+	sat *SAT
+	bdd *BDD // built lazily on first fallback
+}
+
+// NewPortfolio creates a portfolio over the network. hook injects test
+// faults into the SAT stage (re-consulted on every escalation rung).
+func NewPortfolio(net *network.Network, policy Policy, hook FaultHook) *Portfolio {
+	s := NewSAT(net)
+	s.Hook = hook
+	p := &Portfolio{net: net, policy: policy, sat: s}
+	if policy.SimPIs > 0 {
+		p.sim = NewSim(net, policy.SimPIs)
+	}
+	return p
+}
+
+// Name implements Engine.
+func (p *Portfolio) Name() string { return "portfolio" }
+
+// Prove implements Engine by running the schedule until a stage decides.
+func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budget) Result {
+	var agg Stats
+	if p.sim != nil {
+		r := p.sim.Prove(ctx, a, b, budget)
+		agg.Add(r.Stats)
+		if r.Verdict != Unknown {
+			r.Stats = agg
+			return r
+		}
+	}
+	factor := p.policy.factor()
+	for rung := 0; rung <= p.policy.MaxEscalations; rung++ {
+		if rung > 0 {
+			budget = budget.scale(factor)
+			agg.Escalations++
+		}
+		r := p.sat.Prove(ctx, a, b, budget)
+		agg.Add(r.Stats)
+		if r.Verdict != Unknown {
+			r.Stats = agg
+			return r
+		}
+		if ctx.Err() != nil {
+			// Interrupted, not out of budget: higher rungs would fail the
+			// same way instantly.
+			return Result{Stats: agg}
+		}
+	}
+	if p.policy.BDDFallback {
+		if p.bdd == nil {
+			p.bdd = NewBDD(p.net, p.policy.BDDNodeLimit)
+		}
+		r := p.bdd.Prove(ctx, a, b, budget)
+		agg.Add(r.Stats)
+		r.Stats = agg
+		return r
+	}
+	return Result{Stats: agg}
+}
+
+// Learn implements Engine by teaching the SAT stage; the other stages are
+// canonical or stateless.
+func (p *Portfolio) Learn(a, b network.NodeID) { p.sat.Learn(a, b) }
+
+// Watch implements Engine; only the SAT stage has interruptible calls.
+func (p *Portfolio) Watch(ctx context.Context) (stop func()) { return p.sat.Watch(ctx) }
+
+// PeakNodes reports the fallback BDD manager's size (0 when the fallback
+// never ran).
+func (p *Portfolio) PeakNodes() int {
+	if p.bdd == nil {
+		return 0
+	}
+	return p.bdd.PeakNodes()
+}

@@ -1,0 +1,123 @@
+// Package prover defines the pluggable proof engines behind SAT sweeping.
+// An Engine answers one question — can these two nodes differ? — and the
+// sweeping scheduler (internal/sweep) treats every engine identically, so
+// adding a backend (word-level, SMT, distributed) means implementing this
+// interface, not growing another sweep loop. The portfolio architecture
+// follows the hybrid-sweeping literature (Chen et al., arXiv:2501.14740;
+// FORWORD, arXiv:2507.02008): cheap engines first, escalating budgets, a
+// canonical fallback last.
+package prover
+
+import (
+	"context"
+	"time"
+
+	"simgen/internal/network"
+)
+
+// Verdict is an engine's answer for one node pair.
+type Verdict int
+
+const (
+	// Unknown means the engine could not settle the pair under its budget
+	// (or declined to run it at all).
+	Unknown Verdict = iota
+	// Equal means the nodes are proven functionally equivalent.
+	Equal
+	// Differ means the engine found a separating input assignment.
+	Differ
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equal:
+		return "equal"
+	case Differ:
+		return "differ"
+	default:
+		return "unknown"
+	}
+}
+
+// Budget bounds one Prove call. Zero fields mean unlimited. Engines whose
+// cost model is not conflict-shaped (BDD node tables, exhaustive
+// simulation) are free to ignore it.
+type Budget struct {
+	Conflicts    int64
+	Propagations int64
+}
+
+// scale returns the budget multiplied by factor, leaving unlimited (zero)
+// fields unlimited.
+func (b Budget) scale(factor int64) Budget {
+	return Budget{Conflicts: b.Conflicts * factor, Propagations: b.Propagations * factor}
+}
+
+// Stats accounts the work one or more Prove calls performed. The scheduler
+// sums these into its sweep Result.
+type Stats struct {
+	SATCalls    int           // SAT solver invocations
+	BDDChecks   int           // BDD equivalence queries
+	SimChecks   int           // exhaustive-simulation proofs attempted
+	Escalations int           // budget-escalation retries
+	BDDBlowups  int           // BDD node-table blow-ups
+	Time        time.Duration // cumulative engine wall time
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.SATCalls += o.SATCalls
+	s.BDDChecks += o.BDDChecks
+	s.SimChecks += o.SimChecks
+	s.Escalations += o.Escalations
+	s.BDDBlowups += o.BDDBlowups
+	s.Time += o.Time
+}
+
+// Result is the outcome of one Prove call. Cex is a full primary-input
+// assignment separating the pair when Verdict is Differ.
+type Result struct {
+	Verdict Verdict
+	Cex     []bool
+	Stats   Stats
+}
+
+// Engine proves or refutes candidate node equivalences over one network.
+// Engines are stateful (learned clauses, node caches) and not
+// goroutine-safe: the scheduler gives each worker its own instance.
+type Engine interface {
+	// Name identifies the engine in logs and results.
+	Name() string
+	// Prove asks whether nodes a and b can differ. Unknown means the budget
+	// (or the context) ran out, never an error: engines degrade, they don't
+	// fail.
+	Prove(ctx context.Context, a, b network.NodeID, budget Budget) Result
+	// Learn records an externally proven equivalence (e.g. by another
+	// engine in a portfolio) so later proofs over the same cones get
+	// cheaper. Engines with canonical representations may ignore it.
+	Learn(a, b network.NodeID)
+	// Watch arranges for ctx cancellation to interrupt an in-flight Prove
+	// promptly; the returned stop releases the watcher. Engines whose
+	// individual checks are already bounded may return a no-op.
+	Watch(ctx context.Context) (stop func())
+}
+
+// Fault is a test-only injected failure, returned by a FaultHook to
+// exercise degradation paths deterministically.
+type Fault int
+
+// Fault kinds. FaultUnknown forces a budget-exhaustion verdict without
+// running the solver; FaultPanic panics mid-solve (recovered and converted
+// to an unresolved verdict by parallel sweep workers); FaultAssumeEqual
+// skips the check entirely and reports the pair equivalent — an *unsound*
+// verdict that exists so the differential fuzzing oracle (internal/fuzz)
+// can prove it detects a broken prover.
+const (
+	FaultNone Fault = iota
+	FaultUnknown
+	FaultPanic
+	FaultAssumeEqual
+)
+
+// FaultHook injects faults per pair check. Testing only.
+type FaultHook func(a, b network.NodeID) Fault

@@ -1,0 +1,83 @@
+package prover
+
+import (
+	"fmt"
+	"time"
+
+	"context"
+
+	"simgen/internal/cnf"
+	"simgen/internal/network"
+	"simgen/internal/sat"
+)
+
+// SAT proves pairs with incremental CNF miters: both fanin cones are
+// Tseitin-encoded once into a persistent solver, the XOR output is assumed
+// (never asserted, so later calls stay unconstrained), and UNSAT proves the
+// equivalence. Budgets map directly onto the solver's conflict/propagation
+// limits — this engine owns the whole budget/interrupt surface, callers
+// never touch the solver.
+type SAT struct {
+	// Hook, when set, is consulted at the start of every Prove call and may
+	// inject a failure for that pair; because the portfolio re-invokes
+	// Prove per escalation rung, the hook is re-consulted on every rung.
+	// Testing only.
+	Hook FaultHook
+
+	solver *sat.Solver
+	enc    *cnf.Encoder
+}
+
+// NewSAT creates a SAT-miter engine over the network.
+func NewSAT(net *network.Network) *SAT {
+	solver := sat.New()
+	return &SAT{solver: solver, enc: cnf.NewEncoder(net, solver)}
+}
+
+// Name implements Engine.
+func (e *SAT) Name() string { return "sat" }
+
+// Prove implements Engine: one Solve call under the given budget.
+func (e *SAT) Prove(ctx context.Context, a, b network.NodeID, budget Budget) Result {
+	var res Result
+	if e.Hook != nil {
+		switch e.Hook(a, b) {
+		case FaultUnknown:
+			res.Stats.SATCalls++
+			return res
+		case FaultPanic:
+			panic(fmt.Sprintf("prover: injected fault on pair (%d,%d)", a, b))
+		case FaultAssumeEqual:
+			res.Stats.SATCalls++
+			res.Verdict = Equal
+			return res
+		}
+	}
+	e.solver.SetBudget(budget.Conflicts, budget.Propagations)
+	x := e.enc.Miter(a, b)
+	start := time.Now()
+	status := e.solver.Solve(x)
+	res.Stats.Time = time.Since(start)
+	res.Stats.SATCalls++
+	switch status {
+	case sat.Unsat:
+		res.Verdict = Equal
+	case sat.Sat:
+		res.Verdict = Differ
+		res.Cex = e.enc.Model()
+	}
+	return res
+}
+
+// Learn implements Engine: the equality is asserted as two clauses, making
+// later miters over the merged cones trivially propagated.
+func (e *SAT) Learn(a, b network.NodeID) {
+	e.enc.LearnEqual(a, b)
+}
+
+// Watch implements Engine by interrupting the solver on cancellation. The
+// interrupt is sticky: an abandoned run keeps failing fast, which is what
+// deadline-cut sweeps want.
+func (e *SAT) Watch(ctx context.Context) (stop func()) {
+	return e.solver.WatchContext(ctx)
+}

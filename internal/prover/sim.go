@@ -1,0 +1,207 @@
+package prover
+
+import (
+	"context"
+	"math/bits"
+	"time"
+
+	"simgen/internal/network"
+)
+
+// DefaultSimPIs is the default combined-support cutoff for the exhaustive
+// simulation engine: 2^12 assignments fit in 64 words, so a proof costs a
+// few microseconds of pure simulation — free next to any SAT call.
+const DefaultSimPIs = 12
+
+// Sim proves pairs whose combined structural support is small by simulating
+// all 2^k assignments of the supporting primary inputs word-parallel over
+// the two fanin cones. The verdict is exact: equal words prove equivalence
+// outright, a differing lane is a counterexample. Pairs over the cutoff
+// return Unknown without running. Budget is ignored — the cutoff is the
+// budget.
+type Sim struct {
+	net    *network.Network
+	maxPIs int
+
+	// Reusable per-call scratch: vals[node] is that node's simulation words
+	// for the current pair, arena the backing store, stamp/epoch the
+	// membership test that avoids clearing vals between calls.
+	vals  [][]uint64
+	arena []uint64
+	stamp []uint32
+	epoch uint32
+}
+
+// NewSim creates an exhaustive-simulation engine; maxPIs <= 0 means
+// DefaultSimPIs.
+func NewSim(net *network.Network, maxPIs int) *Sim {
+	if maxPIs <= 0 {
+		maxPIs = DefaultSimPIs
+	}
+	n := net.NumNodes()
+	return &Sim{
+		net:    net,
+		maxPIs: maxPIs,
+		vals:   make([][]uint64, n),
+		stamp:  make([]uint32, n),
+	}
+}
+
+// Name implements Engine.
+func (e *Sim) Name() string { return "sim" }
+
+// exhaustive lane patterns for support variables 0..5; variable j >= 6
+// selects whole words instead.
+var lanePatterns = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// Support returns the combined structural support of the pair: the union
+// of both fanin cones' primary inputs.
+func Support(net *network.Network, a, b network.NodeID) []network.NodeID {
+	pis := net.ConePIs(a)
+	seen := make(map[network.NodeID]bool, len(pis))
+	for _, pi := range pis {
+		seen[pi] = true
+	}
+	for _, pi := range net.ConePIs(b) {
+		if !seen[pi] {
+			seen[pi] = true
+			pis = append(pis, pi)
+		}
+	}
+	return pis
+}
+
+// Prove implements Engine.
+func (e *Sim) Prove(ctx context.Context, a, b network.NodeID, _ Budget) Result {
+	support := Support(e.net, a, b)
+	if len(support) > e.maxPIs {
+		return Result{} // declined: Unknown with zero stats
+	}
+	var res Result
+	start := time.Now()
+	res.Verdict, res.Cex = e.enumerate(a, b, support)
+	res.Stats.Time = time.Since(start)
+	res.Stats.SimChecks++
+	return res
+}
+
+// enumerate simulates all 2^k support assignments over both cones and
+// compares the roots.
+func (e *Sim) enumerate(a, b network.NodeID, support []network.NodeID) (Verdict, []bool) {
+	k := len(support)
+	nwords := 1
+	if k > 6 {
+		nwords = 1 << (k - 6)
+	}
+	varOf := make(map[network.NodeID]int, k)
+	for j, pi := range support {
+		varOf[pi] = j
+	}
+
+	// Collect the union of both cones in topological order (FaninCone is
+	// topological, and b's unvisited suffix only depends on already-placed
+	// nodes or its own prefix).
+	e.epoch++
+	cone := e.net.FaninCone(a)
+	for _, id := range cone {
+		e.stamp[id] = e.epoch
+	}
+	for _, id := range e.net.FaninCone(b) {
+		if e.stamp[id] != e.epoch {
+			e.stamp[id] = e.epoch
+			cone = append(cone, id)
+		}
+	}
+	if need := len(cone) * nwords; cap(e.arena) < need {
+		e.arena = make([]uint64, need)
+	}
+	for i, id := range cone {
+		e.vals[id] = e.arena[i*nwords : (i+1)*nwords]
+	}
+
+	for _, id := range cone {
+		nd := e.net.Node(id)
+		out := e.vals[id]
+		switch nd.Kind {
+		case network.KindPI:
+			j := varOf[id]
+			for w := range out {
+				if j < 6 {
+					out[w] = lanePatterns[j]
+				} else if (w>>(j-6))&1 == 1 {
+					out[w] = ^uint64(0)
+				} else {
+					out[w] = 0
+				}
+			}
+		case network.KindConst:
+			fill := uint64(0)
+			if nd.Func.IsConst1() {
+				fill = ^uint64(0)
+			}
+			for w := range out {
+				out[w] = fill
+			}
+		default:
+			// Word-parallel evaluation over the on-set ISOP cover: each
+			// cube is an AND of (possibly complemented) fanin words, the
+			// output their OR. Covers is lazily cached on the network and
+			// not goroutine-safe — the sweep scheduler warms it before
+			// sharing the network across workers.
+			on, _ := e.net.Covers(id)
+			for w := range out {
+				var word uint64
+				for _, cube := range on {
+					term := ^uint64(0)
+					for i, f := range nd.Fanins {
+						v, cared := cube.Has(i)
+						if !cared {
+							continue
+						}
+						if v {
+							term &= e.vals[f][w]
+						} else {
+							term &= ^e.vals[f][w]
+						}
+					}
+					word |= term
+				}
+				out[w] = word
+			}
+		}
+	}
+
+	va, vb := e.vals[a], e.vals[b]
+	for w := range va {
+		if d := va[w] ^ vb[w]; d != 0 {
+			// Lanes beyond 2^k (k < 6) replicate real assignments modulo
+			// 2^k, so any differing lane decodes to a valid assignment.
+			m := w*64 + bits.TrailingZeros64(d)
+			cex := make([]bool, e.net.NumPIs())
+			pos := make(map[network.NodeID]int, e.net.NumPIs())
+			for i, pi := range e.net.PIs() {
+				pos[pi] = i
+			}
+			for j, pi := range support {
+				if (m>>uint(j))&1 == 1 {
+					cex[pos[pi]] = true
+				}
+			}
+			return Differ, cex
+		}
+	}
+	return Equal, nil
+}
+
+// Learn implements Engine: exhaustive simulation has no state to teach.
+func (e *Sim) Learn(a, b network.NodeID) {}
+
+// Watch implements Engine: each check is bounded by the PI cutoff.
+func (e *Sim) Watch(ctx context.Context) (stop func()) { return func() {} }

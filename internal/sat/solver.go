@@ -554,6 +554,13 @@ const interruptCheckEvery = 1024
 // goroutine; the flag is sticky until ClearInterrupt.
 func (s *Solver) Interrupt() { s.interrupted.Store(true) }
 
+// SetBudget sets both per-call budgets at once (0 = unlimited) — the one
+// call a proof engine needs per Solve.
+func (s *Solver) SetBudget(conflicts, propagations int64) {
+	s.ConflictBudget = conflicts
+	s.PropagationBudget = propagations
+}
+
 // ClearInterrupt re-arms the solver after an Interrupt.
 func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
 
@@ -574,6 +581,14 @@ func (s *Solver) WatchContext(ctx context.Context) (stop func()) {
 	go func() {
 		select {
 		case <-ctx.Done():
+			// When cancellation and stop race (both channels ready before
+			// this goroutine was scheduled), stop wins: the solving phase
+			// is already over and must not be poisoned retroactively.
+			select {
+			case <-quit:
+				return
+			default:
+			}
 			s.Interrupt()
 		case <-quit:
 		}

@@ -2,20 +2,19 @@ package sweep
 
 import (
 	"context"
-	"errors"
 	"time"
 
-	"simgen/internal/bdd"
 	"simgen/internal/network"
+	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
 
 // BDDResult reports the work performed by a BDD sweep.
 type BDDResult struct {
-	Checks     int           // equivalence queries answered
-	Time       time.Duration // cumulative BDD construction + query time
-	Proved     int
-	Disproved  int
+	Checks      int           // equivalence queries answered
+	Time        time.Duration // cumulative BDD construction + query time
+	Proved      int
+	Disproved   int
 	Unresolved  int  // pairs abandoned after a node-table blow-up
 	BlownUp     bool // the manager hit its node limit at least once
 	FinalCost   int
@@ -31,49 +30,32 @@ type BDDResult struct {
 // queries are constant-time reference comparisons once the BDDs exist, but
 // construction can blow up exponentially (ErrNodeLimit), which is exactly
 // the trade-off that pushed the field to SAT sweeping.
+//
+// It is the proof-obligation scheduler instantiated with the BDD engine;
+// BDDResult is a view over the scheduler's unified Result.
 type BDDSweeper struct {
 	Net     *network.Network
 	Classes *sim.Classes
-	builder *bdd.Builder
-	repOf   map[network.NodeID]network.NodeID
-	pool    *cexPool
+
+	eng   *prover.BDD
+	sched *scheduler
 }
 
 // NewBDD creates a BDD sweeper; maxNodes bounds the node table (0 = the
 // manager default).
 func NewBDD(net *network.Network, classes *sim.Classes, maxNodes int) *BDDSweeper {
-	b := bdd.NewBuilder(net)
-	b.M.MaxNodes = maxNodes
+	eng := prover.NewBDD(net, maxNodes)
 	return &BDDSweeper{
 		Net:     net,
 		Classes: classes,
-		builder: b,
-		repOf:   make(map[network.NodeID]network.NodeID),
-		pool:    newCexPool(net, classes),
+		eng:     eng,
+		sched:   newScheduler(net, classes, Options{}, eng, nil, nil),
 	}
-}
-
-// flushPool drains the counterexample pool; pairs a flush failed to
-// separate are dropped by the pool and accounted as unresolved.
-func (s *BDDSweeper) flushPool(res *BDDResult) {
-	if s.pool.empty() {
-		return
-	}
-	lanes := s.pool.lanes
-	res.Unresolved += len(s.pool.flush())
-	res.PoolFlushes++
-	res.PoolLanes += lanes
 }
 
 // Rep returns the proven-equivalence representative of a node.
 func (s *BDDSweeper) Rep(id network.NodeID) network.NodeID {
-	for {
-		r, ok := s.repOf[id]
-		if !ok {
-			return id
-		}
-		id = r
-	}
+	return s.sched.uf.find(id)
 }
 
 // Run sweeps every non-singleton class.
@@ -86,84 +68,19 @@ func (s *BDDSweeper) Run() BDDResult {
 // (and TimedOut, for deadlines) set. Individual checks are not interrupted
 // mid-build — the manager's node limit bounds each one.
 func (s *BDDSweeper) RunContext(ctx context.Context) BDDResult {
-	var res BDDResult
-loop:
-	for {
-		progress := false
-		for _, ci := range s.Classes.NonSingleton() {
-			if ctx.Err() != nil {
-				break loop
-			}
-			if s.sweepClass(ctx, ci, &res) {
-				progress = true
-			}
-		}
-		if !progress {
-			break
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		res.Incomplete = true
-		if errors.Is(err, context.DeadlineExceeded) {
-			res.TimedOut = true
-		}
-	}
-	res.FinalCost = s.Classes.Cost()
-	res.PeakNodes = s.builder.M.NumNodes()
-	return res
-}
-
-// sweepClass processes one class in snapshot passes, mirroring the SAT
-// sweeper: counterexamples accumulate (amplified) in the pool and are
-// refined in 64-lane batches when the word fills or the pass ends, instead
-// of one full-network simulation per counterexample.
-func (s *BDDSweeper) sweepClass(ctx context.Context, ci int, res *BDDResult) bool {
-	worked := false
-	for {
-		s.flushPool(res)
-		members := s.Classes.Members(ci)
-		if len(members) < 2 {
-			return worked
-		}
-		rep := members[0]
-		progress := false
-		for _, m := range members[1:] {
-			if ctx.Err() != nil {
-				s.flushPool(res)
-				return worked
-			}
-			if cm := s.Classes.ClassOf(m); cm < 0 || cm != s.Classes.ClassOf(rep) {
-				continue
-			}
-			start := time.Now()
-			cex, differ, err := s.builder.Counterexample(rep, m)
-			res.Time += time.Since(start)
-			res.Checks++
-			worked = true
-			progress = true
-			switch {
-			case err != nil:
-				if !errors.Is(err, bdd.ErrNodeLimit) {
-					panic(err) // builder errors other than blow-up are bugs
-				}
-				res.BlownUp = true
-				res.Unresolved++
-				s.Classes.Remove(m)
-			case !differ:
-				res.Proved++
-				s.repOf[m] = rep
-				s.Classes.Remove(m)
-			default:
-				res.Disproved++
-				if s.pool.full() {
-					s.flushPool(res)
-				}
-				s.pool.add(cex, pair{rep, m})
-			}
-		}
-		s.flushPool(res)
-		if !progress {
-			return worked
-		}
+	res := s.sched.run(ctx, 1)
+	return BDDResult{
+		Checks:      res.BDDChecks,
+		Time:        res.SATTime,
+		Proved:      res.Proved,
+		Disproved:   res.Disproved,
+		Unresolved:  res.Unresolved,
+		BlownUp:     res.BDDBlowups > 0,
+		FinalCost:   res.FinalCost,
+		PeakNodes:   s.eng.PeakNodes(),
+		PoolFlushes: res.PoolFlushes,
+		PoolLanes:   res.PoolLanes,
+		Incomplete:  res.Incomplete,
+		TimedOut:    res.TimedOut,
 	}
 }

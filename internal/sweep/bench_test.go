@@ -63,3 +63,36 @@ func BenchmarkSweepCexPool(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObligationScheduler measures the unified proof-obligation
+// scheduler end to end — snapshot scanning, claiming, the shared union-find,
+// and parallel workers over the portfolio engine — on a network large enough
+// that scheduling overhead would show.
+func BenchmarkObligationScheduler(b *testing.B) {
+	net := benchSweepNet(24, 400, 2)
+	net.Covers(0)
+	net.Fanouts(0)
+	for _, bench := range []struct {
+		name    string
+		workers int
+		opts    Options
+	}{
+		{"sat/seq", 1, Options{}},
+		{"sat/par4", 4, Options{}},
+		{"portfolio/seq", 1, Options{Engine: EnginePortfolio}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				classes := coarseSweepClasses(net)
+				b.StartTimer()
+				res := New(net, classes, bench.opts).RunParallel(bench.workers)
+				if res.Proved+res.Disproved == 0 {
+					b.Fatal("benchmark proved and disproved nothing")
+				}
+			}
+		})
+	}
+}

@@ -2,14 +2,12 @@ package sweep
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
-	"simgen/internal/bdd"
 	"simgen/internal/core"
 	"simgen/internal/network"
-	"simgen/internal/sat"
+	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
 
@@ -140,19 +138,24 @@ func CECContext(ctx context.Context, a, b *network.Network, opts CECOptions) (CE
 		runner.RunContext(ctx, gen, opts.GuidedIterations)
 	}
 
-	sw := New(m, runner.Classes, opts.Sweep)
-	res := CECResult{Equivalent: true}
-	if opts.Workers > 1 {
-		res.Sweep = sw.RunParallelContext(ctx, opts.Workers)
-	} else {
-		res.Sweep = sw.RunContext(ctx)
+	// The sweeper reuses the runner's compiled simulator for its
+	// counterexample pool; sequential and parallel sweeps are the same
+	// scheduler at different worker counts.
+	sw := newSweeper(m, runner.Classes, opts.Sweep, runner.Simulator())
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	res := CECResult{Equivalent: true}
+	res.Sweep = sw.sched.run(ctx, workers)
 
-	// Final check per PO pair; sweeping's equality clauses remain in the
-	// solver and typically make these calls trivial.
-	stop := sw.solver.WatchContext(ctx)
+	// Final check per PO pair, on the same primary engine the scheduler
+	// swept with: its learned equalities typically make these calls
+	// trivial, and the engine owns the whole escalation ladder and BDD
+	// fallback — there is no separate PO prove-path.
+	eng := sw.engine()
+	stop := eng.Watch(ctx)
 	defer stop()
-	var fallback *bdd.Builder
 	for _, p := range pairs {
 		if sw.Rep(p.A) == sw.Rep(p.B) {
 			continue // proven during sweeping
@@ -163,13 +166,15 @@ func CECContext(ctx context.Context, a, b *network.Network, opts CECOptions) (CE
 			res.UndecidedPO = p.Name
 			return res, nil
 		}
-		status, cex := checkPO(ctx, sw, p, &res, &fallback)
-		switch status {
-		case sat.Unsat:
+		pr := eng.Prove(ctx, p.A, p.B, sw.sched.budget)
+		res.POCalls += pr.Stats.SATCalls + pr.Stats.BDDChecks + pr.Stats.SimChecks
+		res.POTime += pr.Stats.Time
+		switch pr.Verdict {
+		case prover.Equal:
 			continue
-		case sat.Sat:
+		case prover.Differ:
 			res.Equivalent = false
-			res.Counterexample = cex
+			res.Counterexample = pr.Cex
 			res.FailedPO = p.Name
 			return res, nil
 		default:
@@ -180,64 +185,6 @@ func CECContext(ctx context.Context, a, b *network.Network, opts CECOptions) (CE
 		}
 	}
 	return res, nil
-}
-
-// checkPO settles one output pair: a SAT call at the base budget, then the
-// escalation ladder, then (when enabled) the BDD engine. fallback caches
-// the BDD builder across output pairs.
-func checkPO(ctx context.Context, sw *Sweeper, p POPair, res *CECResult, fallback **bdd.Builder) (sat.Status, []bool) {
-	sw.enc.EncodeCone(p.A)
-	sw.enc.EncodeCone(p.B)
-	x := sw.enc.XorLit(sw.enc.Lit(p.A, false), sw.enc.Lit(p.B, false))
-
-	baseC, baseP := sw.solver.ConflictBudget, sw.solver.PropagationBudget
-	defer func() {
-		sw.solver.ConflictBudget, sw.solver.PropagationBudget = baseC, baseP
-	}()
-	factor := sw.Opts.escalationFactor()
-	budgetC, budgetP := sw.Opts.ConflictBudget, sw.Opts.PropagationBudget
-	for rung := 0; rung <= sw.Opts.MaxEscalations; rung++ {
-		if rung > 0 {
-			budgetC *= factor
-			budgetP *= factor
-		}
-		sw.solver.ConflictBudget, sw.solver.PropagationBudget = budgetC, budgetP
-		start := time.Now()
-		status := sw.solver.Solve(x)
-		res.POTime += time.Since(start)
-		res.POCalls++
-		if status == sat.Sat {
-			return status, sw.enc.Model()
-		}
-		if status == sat.Unsat {
-			return status, nil
-		}
-		if ctx.Err() != nil {
-			return sat.Unknown, nil
-		}
-	}
-	if !sw.Opts.BDDFallback {
-		return sat.Unknown, nil
-	}
-	if *fallback == nil {
-		*fallback = bdd.NewBuilder(sw.Net)
-		(*fallback).M.MaxNodes = sw.Opts.BDDNodeLimit
-	}
-	start := time.Now()
-	cex, differ, err := (*fallback).Counterexample(p.A, p.B)
-	res.POTime += time.Since(start)
-	res.POCalls++
-	switch {
-	case err != nil:
-		if !errors.Is(err, bdd.ErrNodeLimit) {
-			panic(err) // builder errors other than blow-up are bugs
-		}
-		return sat.Unknown, nil
-	case !differ:
-		return sat.Unsat, nil
-	default:
-		return sat.Sat, cex
-	}
 }
 
 // VerifyCounterexample confirms that a CEC counterexample separates the two

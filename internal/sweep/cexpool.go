@@ -41,17 +41,23 @@ type cexPool struct {
 // poolLaneCap is the lane capacity of the pool: one simulation word.
 const poolLaneCap = 64
 
-func newCexPool(net *network.Network, classes *sim.Classes) *cexPool {
+// newCexPool builds a pool over the partition. simulator, when non-nil, is
+// reused for the flush simulations instead of compiling a second kernel
+// for the same network.
+func newCexPool(net *network.Network, classes *sim.Classes, simulator *sim.Simulator) *cexPool {
 	npi := net.NumPIs()
 	backing := make([]uint64, npi)
 	inputs := make([]sim.Words, npi)
 	for i := range inputs {
 		inputs[i] = sim.Words(backing[i : i+1 : i+1])
 	}
+	if simulator == nil {
+		simulator = sim.NewSimulator(net)
+	}
 	return &cexPool{
 		net:       net,
 		classes:   classes,
-		sim:       sim.NewSimulator(net),
+		sim:       simulator,
 		inputs:    inputs,
 		inPending: make(map[network.NodeID]int),
 	}

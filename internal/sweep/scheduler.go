@@ -1,0 +1,324 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"simgen/internal/network"
+	"simgen/internal/prover"
+	"simgen/internal/sim"
+)
+
+// unionFind tracks proven-equivalence representatives for every engine —
+// the single replacement for the chain-walking repOf maps the SAT, BDD,
+// and parallel sweepers used to duplicate. Merges always direct the
+// removed member at the surviving class representative (the class's
+// smallest node id, stable across refinement), so roots are deterministic
+// regardless of worker count.
+//
+// It is not goroutine-safe; the scheduler serializes access under its
+// partition mutex during a run.
+type unionFind struct {
+	parent []int32 // parent[i] < 0 means i is a root
+}
+
+func newUnionFind(n int) *unionFind {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	return &unionFind{parent: parent}
+}
+
+// find returns the root of x, fully compressing the walked path so deep
+// merge chains cost amortized O(1) on later lookups instead of a walk per
+// query.
+func (u *unionFind) find(x network.NodeID) network.NodeID {
+	root := x
+	for u.parent[root] >= 0 {
+		root = network.NodeID(u.parent[root])
+	}
+	for x != root {
+		next := network.NodeID(u.parent[x])
+		u.parent[x] = int32(root)
+		x = next
+	}
+	return root
+}
+
+// union merges m's set into rep's.
+func (u *unionFind) union(rep, m network.NodeID) {
+	r := u.find(rep)
+	if mr := u.find(m); mr != r {
+		u.parent[mr] = int32(r)
+	}
+}
+
+// obligation is one unit of proof work: member m must be proven equal to
+// or different from its class representative rep (class index ci).
+type obligation struct {
+	ci     int
+	rep, m network.NodeID
+}
+
+// scheduler is the single sweep loop behind every engine and mode: one
+// queue of (class, pair) obligations drawn from the partition, consumed by
+// N workers (sequential sweeping is workers=1), one shared union-find, one
+// counterexample pool, one Result shape. Engine differences — SAT vs BDD
+// vs portfolio, escalation, fallback — live entirely behind prover.Engine.
+type scheduler struct {
+	net     *network.Network
+	classes *sim.Classes
+	opts    Options
+	budget  prover.Budget
+
+	// primary is the engine used by sequential runs and worker 0, so its
+	// learned state (e.g. SAT equality clauses) survives for later phases
+	// like CEC's output checks; factory builds private engines for the
+	// remaining workers (nil pins the scheduler to one worker).
+	primary prover.Engine
+	factory func() prover.Engine
+
+	uf   *unionFind
+	pool *cexPool
+
+	mu      sync.Mutex
+	res     Result
+	claimed map[network.NodeID]bool // class reps with an obligation in flight
+
+	// snap is the current NonSingleton snapshot being drained, with a
+	// shared cursor; progress tells refreshes apart from exhausted passes.
+	snap     []int
+	snapPos  int
+	progress bool
+}
+
+// newScheduler builds a scheduler over the partition. simulator, when
+// non-nil, backs the counterexample pool (callers that already compiled an
+// arena simulator for the network pass it to avoid a second kernel).
+func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
+	primary prover.Engine, factory func() prover.Engine, simulator *sim.Simulator) *scheduler {
+	return &scheduler{
+		net:     net,
+		classes: classes,
+		opts:    opts,
+		budget:  prover.Budget{Conflicts: opts.ConflictBudget, Propagations: opts.PropagationBudget},
+		primary: primary,
+		factory: factory,
+		uf:      newUnionFind(net.NumNodes()),
+		pool:    newCexPool(net, classes, simulator),
+		claimed: make(map[network.NodeID]bool),
+	}
+}
+
+// run drains every obligation with the given worker count and returns the
+// accumulated result. Sequential runs (workers <= 1) execute on the
+// primary engine without panic isolation — injected faults must propagate
+// to the caller there, while parallel workers convert recovered panics to
+// unresolved verdicts.
+func (s *scheduler) run(ctx context.Context, workers int) Result {
+	s.res = Result{}
+	s.snap = nil
+	if workers <= 1 || s.factory == nil {
+		func() {
+			stop := s.primary.Watch(ctx)
+			defer stop()
+			s.work(ctx, s.primary, false)
+		}()
+	} else {
+		// Warm the shared caches that are lazily built and not
+		// goroutine-safe: covers (row tables / CNF cubes) and
+		// fanout/level data.
+		for id := 0; id < s.net.NumNodes(); id++ {
+			s.net.Covers(network.NodeID(id))
+		}
+		s.net.Fanouts(0)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			eng := s.primary
+			if i > 0 {
+				eng = s.factory()
+			}
+			wg.Add(1)
+			go func(eng prover.Engine) {
+				defer wg.Done()
+				stop := eng.Watch(ctx)
+				defer stop()
+				s.work(ctx, eng, true)
+			}(eng)
+		}
+		wg.Wait()
+	}
+	s.mu.Lock()
+	s.flushPool(&s.res)
+	s.finish(ctx)
+	s.mu.Unlock()
+	return s.res
+}
+
+// work is the per-worker loop: claim an obligation, prove it, fold the
+// verdict into the shared state, repeat until the queue runs dry.
+func (s *scheduler) work(ctx context.Context, eng prover.Engine, isolate bool) {
+	for ctx.Err() == nil {
+		ob, ok := s.next()
+		if !ok {
+			return
+		}
+		s.process(ctx, eng, ob, isolate)
+	}
+}
+
+// process proves one obligation. With isolate set, an engine panic is
+// recovered and converted to an unresolved verdict so one poisoned worker
+// cannot take down a parallel sweep.
+func (s *scheduler) process(ctx context.Context, eng prover.Engine, ob obligation, isolate bool) {
+	defer s.release(ob.rep)
+	if isolate {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				s.res.WorkerPanics++
+				s.res.Unresolved++
+				s.classes.Remove(ob.m)
+				s.mu.Unlock()
+			}
+		}()
+	}
+	pr := eng.Prove(ctx, ob.rep, ob.m, s.budget)
+	if s.apply(ctx, ob, pr) {
+		eng.Learn(ob.rep, ob.m)
+	}
+}
+
+// next claims the next obligation under the partition lock. It drains a
+// NonSingleton snapshot with a shared cursor; when the snapshot runs dry
+// it is refreshed (splits create classes a stale snapshot cannot see), and
+// the queue is empty only when a full fresh pass yields nothing claimable
+// and no counterexamples are pending.
+func (s *scheduler) next() (obligation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.MaxPairs > 0 && s.res.SATCalls >= s.opts.MaxPairs {
+		s.res.Incomplete = true
+		return obligation{}, false
+	}
+	for {
+		if s.snap == nil {
+			s.snap = s.classes.NonSingleton()
+			s.snapPos = 0
+			s.progress = false
+		}
+		for s.snapPos < len(s.snap) {
+			ci := s.snap[s.snapPos]
+			members := s.classes.Members(ci)
+			if len(members) < 2 {
+				s.snapPos++
+				continue
+			}
+			rep := members[0]
+			if s.claimed[rep] {
+				s.snapPos++
+				continue
+			}
+			if s.pool.touches(rep, members[1]) {
+				// Membership is stale under pending counterexamples:
+				// refine first, then re-read this class.
+				s.flushPool(&s.res)
+				continue
+			}
+			s.claimed[rep] = true
+			s.progress = true
+			// The cursor stays on ci: a sequential worker returns straight
+			// to the same class until it is settled.
+			return obligation{ci: ci, rep: rep, m: members[1]}, true
+		}
+		if !s.progress {
+			if s.pool.empty() {
+				return obligation{}, false
+			}
+			// Pending counterexamples may split classes back above the
+			// singleton threshold; flush and rescan.
+			s.flushPool(&s.res)
+		}
+		s.snap = nil
+	}
+}
+
+// release returns a claimed representative to the queue.
+func (s *scheduler) release(rep network.NodeID) {
+	s.mu.Lock()
+	delete(s.claimed, rep)
+	s.mu.Unlock()
+}
+
+// apply folds one prover outcome into the shared state; it reports whether
+// the verdict was Equal so the caller can teach its engine the equality.
+func (s *scheduler) apply(ctx context.Context, ob obligation, pr prover.Result) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := pr.Stats
+	s.res.SATCalls += st.SATCalls
+	s.res.SATTime += st.Time
+	s.res.Escalations += st.Escalations
+	s.res.BDDChecks += st.BDDChecks
+	s.res.SimChecks += st.SimChecks
+	s.res.BDDBlowups += st.BDDBlowups
+	switch pr.Verdict {
+	case prover.Equal:
+		// Guard against the pair having been split meanwhile — impossible
+		// for a sound engine (a split needs a separating vector), but an
+		// unsound verdict (injected faults) must not corrupt the partition
+		// invariants.
+		if cm := s.classes.ClassOf(ob.m); cm >= 0 && cm == s.classes.ClassOf(ob.rep) {
+			s.uf.union(ob.rep, ob.m)
+			s.classes.Remove(ob.m)
+		}
+		s.res.Proved++
+		return true
+	case prover.Differ:
+		s.res.Disproved++
+		s.res.CexVectors++
+		if s.pool.full() {
+			s.flushPool(&s.res)
+		}
+		s.pool.add(pr.Cex, pair{ob.rep, ob.m})
+	default:
+		if ctx.Err() != nil {
+			// Interrupted, not out of budget: leave the pair in its class
+			// so the partial result still reports it as an open candidate.
+			s.res.Incomplete = true
+			return false
+		}
+		// Every budget and engine in the portfolio is exhausted: drop the
+		// member so the sweep terminates.
+		s.classes.Remove(ob.m)
+		s.res.Unresolved++
+	}
+	return false
+}
+
+// flushPool drains the counterexample pool into the partition; the caller
+// holds mu. Pairs a flush failed to separate (defective counterexamples)
+// are dropped from their classes by the pool and accounted as unresolved.
+func (s *scheduler) flushPool(res *Result) {
+	if s.pool.empty() {
+		return
+	}
+	lanes := s.pool.lanes
+	res.Unresolved += len(s.pool.flush())
+	res.PoolFlushes++
+	res.PoolLanes += lanes
+}
+
+// finish stamps the final accounting shared by all run modes; the caller
+// holds mu.
+func (s *scheduler) finish(ctx context.Context) {
+	s.res.FinalCost = s.classes.Cost()
+	if err := ctx.Err(); err != nil {
+		s.res.Incomplete = true
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.res.TimedOut = true
+		}
+	}
+}

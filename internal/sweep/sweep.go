@@ -1,44 +1,50 @@
 // Package sweep implements SAT sweeping — the host application of SimGen
 // (Fig. 2 of the paper). Candidate equivalence classes produced by
-// simulation are verified pairwise with the SAT solver: UNSAT miters prove
-// node equivalences (which are merged and fed back to the solver as
-// equality clauses), SAT miters yield counterexample vectors that are
-// simulated to split the remaining classes.
+// simulation are verified pairwise by proof engines: proven-equal pairs are
+// merged (and taught back to the engines), counterexamples are simulated to
+// split the remaining classes.
+//
+// The package is built around one proof-obligation scheduler (scheduler.go)
+// consuming a queue of (class, pair) obligations with N workers, one shared
+// union-find, and one counterexample pool — sequential sweeping is
+// workers=1, the BDD sweeper is the same scheduler instantiated with the
+// BDD engine, and CEC rides the scheduler too. The engines themselves
+// (SAT miter, BDD, exhaustive simulation, and the escalating portfolio
+// combining them) live in internal/prover.
 //
 // The package also provides combinational equivalence checking (CEC) of two
-// networks on top of the sweeping engine.
+// networks on top of the sweeping scheduler.
 //
 // # Budgets, deadlines, and degradation
 //
-// Every engine accepts a context (RunContext, RunParallelContext,
-// CECContext): cancellation or a deadline interrupts the SAT solver
-// mid-call and yields a partial Result with Incomplete/TimedOut set instead
-// of hanging. Pairs whose SAT call exhausts its conflict/propagation budget
-// are not dropped immediately: they climb an escalation ladder
+// Every run mode accepts a context (RunContext, RunParallelContext,
+// CECContext): cancellation or a deadline interrupts the engines mid-call
+// and yields a partial Result with Incomplete/TimedOut set instead of
+// hanging. Pairs whose SAT call exhausts its conflict/propagation budget
+// are not dropped immediately: the portfolio climbs an escalation ladder
 // (EscalationFactor× larger budgets for MaxEscalations rungs) and, when the
-// final rung fails too, fall back to the BDD engine under its own
-// node-count limit before being declared Unresolved — the hybrid-engine
+// final rung fails too, falls back to the BDD engine under its own
+// node-count limit before declaring the pair Unresolved — the hybrid-engine
 // architecture of Chen et al. (arXiv:2501.14740) and FORWORD
 // (arXiv:2507.02008).
 package sweep
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
 	"time"
 
-	"simgen/internal/bdd"
-	"simgen/internal/cnf"
 	"simgen/internal/network"
-	"simgen/internal/sat"
+	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
 
 // Fault is a test-only injected failure, returned by Options.FaultHook to
-// exercise the sweeping degradation paths deterministically.
-type Fault int
+// exercise the sweeping degradation paths deterministically. It aliases
+// prover.Fault: the hook is consulted by the SAT engine on every Prove
+// call, so escalation rungs re-consult it.
+type Fault = prover.Fault
 
 // Fault kinds. FaultUnknown forces a budget-exhaustion verdict without
 // running the solver; FaultPanic panics mid-solve (recovered and converted
@@ -47,14 +53,46 @@ type Fault int
 // that exists so the differential fuzzing oracle (internal/fuzz) can prove
 // it detects a broken sweeper.
 const (
-	FaultNone Fault = iota
-	FaultUnknown
-	FaultPanic
-	FaultAssumeEqual
+	FaultNone        = prover.FaultNone
+	FaultUnknown     = prover.FaultUnknown
+	FaultPanic       = prover.FaultPanic
+	FaultAssumeEqual = prover.FaultAssumeEqual
 )
+
+// EngineKind selects the proof engine a Sweeper schedules obligations on.
+type EngineKind int
+
+const (
+	// EngineSAT is the default: the SAT-miter engine behind the escalation
+	// ladder, with the BDD fallback only when Options.BDDFallback is set.
+	EngineSAT EngineKind = iota
+	// EngineBDD proves every pair on canonical BDDs.
+	EngineBDD
+	// EnginePortfolio runs the full portfolio: free exhaustive-simulation
+	// proofs for small-support pairs (Options.SimPIs), then the SAT ladder,
+	// then the BDD fallback (forced on).
+	EnginePortfolio
+)
+
+// ParseEngine maps a CLI engine name to its kind.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "sat":
+		return EngineSAT, nil
+	case "bdd":
+		return EngineBDD, nil
+	case "portfolio":
+		return EnginePortfolio, nil
+	default:
+		return EngineSAT, fmt.Errorf("sweep: unknown engine %q (want sat|bdd|portfolio)", s)
+	}
+}
 
 // Options configures a sweep.
 type Options struct {
+	// Engine selects the proof engine; the zero value is EngineSAT.
+	Engine EngineKind
+
 	// ConflictBudget bounds each SAT call's conflicts; 0 means unlimited.
 	// Calls that exhaust the budget enter the escalation ladder (or are
 	// abandoned as Unresolved when MaxEscalations is 0).
@@ -78,24 +116,40 @@ type Options struct {
 	// BDDNodeLimit bounds the fallback BDD manager's node table;
 	// 0 means the manager default.
 	BDDNodeLimit int
+	// SimPIs is the combined-support cutoff for EnginePortfolio's
+	// exhaustive-simulation stage; 0 means prover.DefaultSimPIs.
+	SimPIs int
 
 	// FaultHook, when set, is consulted before every SAT pair check and may
 	// inject a failure for that pair. Testing only.
 	FaultHook func(a, b network.NodeID) Fault
 }
 
-// escalationFactor returns the effective ladder multiplier.
-func (o Options) escalationFactor() int64 {
-	if o.EscalationFactor < 2 {
-		return 4
+// policy translates the options into the portfolio's degradation schedule.
+func (o Options) policy() prover.Policy {
+	p := prover.Policy{
+		EscalationFactor: o.EscalationFactor,
+		MaxEscalations:   o.MaxEscalations,
+		BDDFallback:      o.BDDFallback,
+		BDDNodeLimit:     o.BDDNodeLimit,
 	}
-	return int64(o.EscalationFactor)
+	if o.Engine == EnginePortfolio {
+		p.SimPIs = o.SimPIs
+		if p.SimPIs == 0 {
+			p.SimPIs = prover.DefaultSimPIs
+		}
+		p.BDDFallback = true
+		if p.BDDNodeLimit == 0 {
+			p.BDDNodeLimit = 1 << 20
+		}
+	}
+	return p
 }
 
 // Result reports the work performed by a sweep.
 type Result struct {
-	SATCalls   int           // number of Solve invocations
-	SATTime    time.Duration // cumulative Solve wall time
+	SATCalls   int           // number of SAT Solve invocations
+	SATTime    time.Duration // cumulative engine prove wall time
 	Proved     int           // pairs proven equivalent (merged)
 	Disproved  int           // pairs split by a counterexample
 	Unresolved int           // pairs abandoned after every budget and engine
@@ -103,7 +157,9 @@ type Result struct {
 	FinalCost  int           // Eq. (5) cost after sweeping
 
 	Escalations  int  // escalated SAT re-checks performed
-	BDDChecks    int  // pairs referred to the BDD fallback engine
+	BDDChecks    int  // pairs referred to the BDD engine
+	BDDBlowups   int  // BDD checks abandoned on the node limit
+	SimChecks    int  // pairs settled by exhaustive simulation
 	WorkerPanics int  // worker panics converted to unresolved verdicts
 	PoolFlushes  int  // batched counterexample refinements performed
 	PoolLanes    int  // total vector lanes simulated across pool flushes
@@ -115,6 +171,9 @@ func (r Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "calls=%d time=%v proved=%d disproved=%d unresolved=%d",
 		r.SATCalls, r.SATTime, r.Proved, r.Disproved, r.Unresolved)
+	if r.SimChecks > 0 {
+		fmt.Fprintf(&b, " simchecks=%d", r.SimChecks)
+	}
 	if r.Escalations > 0 {
 		fmt.Fprintf(&b, " escalations=%d", r.Escalations)
 	}
@@ -140,79 +199,52 @@ type pair struct {
 	rep, m network.NodeID
 }
 
-// Sweeper verifies the candidate equivalences of a class partition.
+// Sweeper verifies the candidate equivalences of a class partition by
+// scheduling proof obligations onto the engine selected in Options.
 type Sweeper struct {
 	Net     *network.Network
 	Classes *sim.Classes
 	Opts    Options
 
-	solver *sat.Solver
-	enc    *cnf.Encoder
-	repOf  map[network.NodeID]network.NodeID // proven-equivalent representative
-	pool   *cexPool                          // batched counterexample refinement
+	sched *scheduler
 }
 
 // New creates a sweeper over the network and its current classes.
 func New(net *network.Network, classes *sim.Classes, opts Options) *Sweeper {
-	solver := sat.New()
-	solver.ConflictBudget = opts.ConflictBudget
-	solver.PropagationBudget = opts.PropagationBudget
+	return newSweeper(net, classes, opts, nil)
+}
+
+// newSweeper is New with an optional pre-built simulator for the
+// counterexample pool (CEC reuses its runner's kernel).
+func newSweeper(net *network.Network, classes *sim.Classes, opts Options, simulator *sim.Simulator) *Sweeper {
+	var factory func() prover.Engine
+	switch opts.Engine {
+	case EngineBDD:
+		factory = func() prover.Engine { return prover.NewBDD(net, opts.BDDNodeLimit) }
+	default:
+		policy := opts.policy()
+		var hook prover.FaultHook
+		if opts.FaultHook != nil {
+			hook = opts.FaultHook
+		}
+		factory = func() prover.Engine { return prover.NewPortfolio(net, policy, hook) }
+	}
 	return &Sweeper{
 		Net:     net,
 		Classes: classes,
 		Opts:    opts,
-		solver:  solver,
-		enc:     cnf.NewEncoder(net, solver),
-		repOf:   make(map[network.NodeID]network.NodeID),
-		pool:    newCexPool(net, classes),
+		sched:   newScheduler(net, classes, opts, factory(), factory, simulator),
 	}
 }
+
+// engine exposes the primary engine (sequential / worker-0), whose learned
+// state CEC's output checks build on.
+func (s *Sweeper) engine() prover.Engine { return s.sched.primary }
 
 // Rep returns the proven-equivalence representative of a node (itself when
 // nothing was merged into it).
 func (s *Sweeper) Rep(id network.NodeID) network.NodeID {
-	for {
-		r, ok := s.repOf[id]
-		if !ok {
-			return id
-		}
-		id = r
-	}
-}
-
-// merge records a proven equivalence (m into rep) and teaches the solver
-// the equality so later calls over the same cones become trivial.
-func (s *Sweeper) merge(rep, m network.NodeID) {
-	s.repOf[m] = rep
-	s.enc.EncodeCone(rep)
-	s.enc.EncodeCone(m)
-	s.solver.AddClause(s.enc.Lit(rep, true), s.enc.Lit(m, false))
-	s.solver.AddClause(s.enc.Lit(rep, false), s.enc.Lit(m, true))
-}
-
-// flushPool drains the counterexample pool into the partition. Pairs a
-// flush failed to separate (defective counterexamples) are dropped from
-// their classes by the pool and accounted here as unresolved.
-func (s *Sweeper) flushPool(res *Result) {
-	if s.pool.empty() {
-		return
-	}
-	lanes := s.pool.lanes
-	res.Unresolved += len(s.pool.flush())
-	res.PoolFlushes++
-	res.PoolLanes += lanes
-}
-
-// refineCex feeds one counterexample through the pool — gaining the
-// distance-1 amplification lanes — and flushes immediately. Used on paths
-// (escalation, BDD fallback) that must observe the refined partition right
-// away.
-func (s *Sweeper) refineCex(cex []bool, pr pair, res *Result) {
-	if s.pool.full() {
-		s.flushPool(res)
-	}
-	s.pool.add(cex, pr)
-	s.flushPool(res)
+	return s.sched.uf.find(id)
 }
 
 // Run sweeps every non-singleton class until each candidate pair is proven,
@@ -222,258 +254,34 @@ func (s *Sweeper) Run() Result {
 }
 
 // RunContext is Run under a context: cancellation or a deadline interrupts
-// the SAT solver promptly and returns the partial result with Incomplete
-// (and TimedOut, for deadlines) set. Pairs that exhaust their budget are
+// the engines promptly and returns the partial result with Incomplete (and
+// TimedOut, for deadlines) set. Pairs that exhaust their budget are
 // escalated and finally retried on the BDD engine per Options.
 func (s *Sweeper) RunContext(ctx context.Context) Result {
-	var res Result
-	stop := s.solver.WatchContext(ctx)
-	defer stop()
-	deferred := s.runMain(ctx, &res)
-	deferred = s.escalate(ctx, deferred, &res)
-	s.bddFallback(ctx, deferred, &res)
-	s.finish(ctx, &res)
-	return res
+	return s.sched.run(ctx, 1)
 }
 
-// runMain is the base sweep loop. Budget-exhausted pairs are returned for
-// escalation when the ladder is enabled.
-func (s *Sweeper) runMain(ctx context.Context, res *Result) []pair {
-	var deferred []pair
-	for {
-		progress := false
-		for _, ci := range s.Classes.NonSingleton() {
-			if ctx.Err() != nil {
-				res.Incomplete = true
-				return deferred
-			}
-			if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
-				res.Incomplete = true
-				return deferred
-			}
-			if s.sweepClass(ctx, ci, res, &deferred) {
-				progress = true
-			}
-			if res.Incomplete {
-				return deferred
-			}
-		}
-		if !progress {
-			return deferred
-		}
-	}
-}
-
-// sweepClass processes one class; it reports whether any SAT call was made.
+// RunParallel sweeps with the given number of worker goroutines, each
+// owning a private proof engine over the shared (read-only) network. The
+// class partition is the only shared mutable state and is guarded by the
+// scheduler's mutex; proving — the dominant cost — runs outside the lock.
 //
-// The class is swept in snapshot passes: the member list is captured once
-// per pass and every member is checked against the (stable) representative.
-// Counterexamples are not refined one at a time — they accumulate in the
-// pool, each amplified with distance-1 PI flips, and are flushed through a
-// single batched simulate+refine when the 64-lane word fills or the pass
-// ends. Within a pass the partition is deliberately consulted stale: a
-// pending counterexample that would separate a later member only costs one
-// extra (quick) SAT call, while flushing per counterexample would cost a
-// full-network simulation each time.
-func (s *Sweeper) sweepClass(ctx context.Context, ci int, res *Result, deferred *[]pair) bool {
-	worked := false
-	for {
-		// Flush so the pass starts from current membership.
-		s.flushPool(res)
-		members := s.Classes.Members(ci)
-		if len(members) < 2 {
-			return worked
-		}
-		rep := members[0]
-		progress := false
-		for _, m := range members[1:] {
-			if ctx.Err() != nil {
-				s.flushPool(res)
-				res.Incomplete = true
-				return worked
-			}
-			if s.Opts.MaxPairs > 0 && res.SATCalls >= s.Opts.MaxPairs {
-				s.flushPool(res)
-				return worked
-			}
-			// Skip members an earlier flush or merge already separated.
-			if cm := s.Classes.ClassOf(m); cm < 0 || cm != s.Classes.ClassOf(rep) {
-				continue
-			}
-			status, cex := s.checkPair(rep, m, res)
-			worked = true
-			progress = true
-			switch status {
-			case sat.Unsat:
-				// Proven equivalent: merge m into rep, teach the solver.
-				s.merge(rep, m)
-				s.Classes.Remove(m)
-				res.Proved++
-			case sat.Sat:
-				// Counterexample: buffer it (amplified) for batched
-				// refinement. flush() verifies the pair really separates.
-				res.Disproved++
-				res.CexVectors++
-				if s.pool.full() {
-					s.flushPool(res)
-				}
-				s.pool.add(cex, pair{rep, m})
-			default:
-				if ctx.Err() != nil {
-					// Interrupted, not out of budget: leave the pair in
-					// its class so the partial result still reports it as
-					// an open candidate, and stop.
-					s.flushPool(res)
-					res.Incomplete = true
-					return worked
-				}
-				// Budget exhausted: drop the member from its class so the
-				// base sweep terminates, and hand it to the escalation
-				// ladder (or give it up when escalation is disabled).
-				s.Classes.Remove(m)
-				if s.Opts.MaxEscalations > 0 || s.Opts.BDDFallback {
-					*deferred = append(*deferred, pair{rep, m})
-				} else {
-					res.Unresolved++
-				}
-			}
-		}
-		s.flushPool(res)
-		if !progress {
-			return worked
-		}
-	}
+// Verdicts are identical to the sequential sweep (equivalences are
+// canonical facts), but the order of counterexample refinements differs
+// between runs, so per-run call counts may vary slightly.
+func (s *Sweeper) RunParallel(workers int) Result {
+	return s.RunParallelContext(context.Background(), workers)
 }
 
-// escalate retries budget-exhausted pairs with EscalationFactor× larger
-// budgets per rung. Pairs still Unknown after the last rung are returned
-// for the BDD fallback.
-func (s *Sweeper) escalate(ctx context.Context, deferred []pair, res *Result) []pair {
-	if len(deferred) == 0 || s.Opts.MaxEscalations <= 0 {
-		return deferred
+// RunParallelContext is RunParallel under a context. Cancellation
+// interrupts every worker's engine; the partial result carries
+// Incomplete/TimedOut. Workers are crash-isolated: a panic while checking
+// a pair is recovered and converted into an unresolved verdict for that
+// pair (counted in Result.WorkerPanics), the claim on its class is always
+// released, and the remaining workers keep sweeping.
+func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
+	if workers <= 1 {
+		return s.RunContext(ctx)
 	}
-	baseC, baseP := s.solver.ConflictBudget, s.solver.PropagationBudget
-	defer func() {
-		s.solver.ConflictBudget, s.solver.PropagationBudget = baseC, baseP
-	}()
-	factor := s.Opts.escalationFactor()
-	budgetC, budgetP := s.Opts.ConflictBudget, s.Opts.PropagationBudget
-	for rung := 1; rung <= s.Opts.MaxEscalations && len(deferred) > 0; rung++ {
-		budgetC *= factor
-		budgetP *= factor
-		s.solver.ConflictBudget, s.solver.PropagationBudget = budgetC, budgetP
-		var next []pair
-		for i, p := range deferred {
-			if ctx.Err() != nil {
-				res.Incomplete = true
-				res.Unresolved += len(deferred) - i + len(next)
-				return nil
-			}
-			rep := s.Rep(p.rep)
-			m := p.m
-			status, cex := s.checkPair(rep, m, res)
-			res.Escalations++
-			switch status {
-			case sat.Unsat:
-				s.merge(rep, m)
-				res.Proved++
-			case sat.Sat:
-				res.Disproved++
-				res.CexVectors++
-				s.refineCex(cex, pair{rep, m}, res)
-			default:
-				if ctx.Err() != nil {
-					res.Incomplete = true
-					res.Unresolved += len(deferred) - i + len(next)
-					return nil
-				}
-				next = append(next, pair{rep, m})
-			}
-		}
-		deferred = next
-	}
-	return deferred
-}
-
-// bddFallback is the last rung: pairs the SAT engine could not settle under
-// any budget are checked on canonical BDDs, whose cost model is entirely
-// different (node count, not conflicts). Equivalences proven here are
-// taught back to the SAT solver. Pairs that blow up the node table are
-// finally declared Unresolved.
-func (s *Sweeper) bddFallback(ctx context.Context, deferred []pair, res *Result) {
-	if len(deferred) == 0 {
-		return
-	}
-	if !s.Opts.BDDFallback {
-		res.Unresolved += len(deferred)
-		return
-	}
-	builder := bdd.NewBuilder(s.Net)
-	builder.M.MaxNodes = s.Opts.BDDNodeLimit
-	for i, p := range deferred {
-		if ctx.Err() != nil {
-			res.Incomplete = true
-			res.Unresolved += len(deferred) - i
-			return
-		}
-		rep := s.Rep(p.rep)
-		start := time.Now()
-		cex, differ, err := builder.Counterexample(rep, p.m)
-		res.SATTime += time.Since(start)
-		res.BDDChecks++
-		switch {
-		case err != nil:
-			if !errors.Is(err, bdd.ErrNodeLimit) {
-				panic(err) // builder errors other than blow-up are bugs
-			}
-			res.Unresolved++
-		case !differ:
-			s.merge(rep, p.m)
-			res.Proved++
-		default:
-			res.Disproved++
-			res.CexVectors++
-			s.refineCex(cex, pair{rep, p.m}, res)
-		}
-	}
-}
-
-// finish stamps the final accounting shared by all run modes.
-func (s *Sweeper) finish(ctx context.Context, res *Result) {
-	res.FinalCost = s.Classes.Cost()
-	if err := ctx.Err(); err != nil {
-		res.Incomplete = true
-		if errors.Is(err, context.DeadlineExceeded) {
-			res.TimedOut = true
-		}
-	}
-}
-
-// checkPair runs one SAT call asking whether the two nodes can differ.
-func (s *Sweeper) checkPair(a, b network.NodeID, res *Result) (sat.Status, []bool) {
-	if s.Opts.FaultHook != nil {
-		switch s.Opts.FaultHook(a, b) {
-		case FaultUnknown:
-			res.SATCalls++
-			return sat.Unknown, nil
-		case FaultPanic:
-			panic(fmt.Sprintf("sweep: injected fault on pair (%d,%d)", a, b))
-		case FaultAssumeEqual:
-			res.SATCalls++
-			return sat.Unsat, nil
-		}
-	}
-	s.enc.EncodeCone(a)
-	s.enc.EncodeCone(b)
-	x := s.enc.XorLit(s.enc.Lit(a, false), s.enc.Lit(b, false))
-	start := time.Now()
-	status := s.solver.Solve(x)
-	res.SATTime += time.Since(start)
-	res.SATCalls++
-	var cex []bool
-	if status == sat.Sat {
-		cex = s.enc.Model()
-	}
-	// x was only assumed, never asserted: later calls are unconstrained.
-	return status, cex
+	return s.sched.run(ctx, workers)
 }

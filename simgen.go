@@ -106,7 +106,25 @@ type (
 	// Fault is a test-only injected failure for SweepOptions.FaultHook,
 	// exercising the sweeping degradation paths deterministically.
 	Fault = sweep.Fault
+	// EngineKind selects the proof engine a Sweeper schedules obligations
+	// on (SweepOptions.Engine).
+	EngineKind = sweep.EngineKind
 )
+
+// Proof engines for SweepOptions.Engine.
+const (
+	// EngineSAT is the default SAT-miter engine with the escalation ladder
+	// and optional BDD fallback.
+	EngineSAT = sweep.EngineSAT
+	// EngineBDD proves every pair on canonical BDDs.
+	EngineBDD = sweep.EngineBDD
+	// EnginePortfolio chains free exhaustive-simulation proofs, the SAT
+	// ladder, and the BDD fallback.
+	EnginePortfolio = sweep.EnginePortfolio
+)
+
+// ParseSweepEngine maps a CLI engine name (sat|bdd|portfolio) to its kind.
+func ParseSweepEngine(s string) (EngineKind, error) { return sweep.ParseEngine(s) }
 
 // Fault kinds for SweepOptions.FaultHook.
 const (
