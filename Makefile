@@ -26,6 +26,35 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Focused race-detector pass over the concurrent core: the parallel
+# obligation scheduler, the prover portfolio, the simulation kernel, and the
+# observability layer whose tracers must be goroutine-safe. Narrower than
+# `make test` so it stays fast enough to iterate on while debugging a race.
+.PHONY: race
+race:
+	$(GO) test -race -count=1 ./internal/sweep/... ./internal/prover/... \
+		./internal/sim/... ./internal/obs/...
+
+# Coverage over the library packages, with a soft floor on internal/obs:
+# the observability layer is pure bookkeeping, so uncovered lines there are
+# almost always an event kind nothing asserts on.
+OBS_COVER_FLOOR ?= 70
+.PHONY: cover
+cover:
+	$(GO) test -coverprofile=/tmp/cover.out ./internal/...
+	@$(GO) tool cover -func=/tmp/cover.out | tail -1
+	@pct=$$($(GO) test -cover ./internal/obs 2>/dev/null \
+		| sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$pct" ]; then \
+		echo "cover: could not read internal/obs coverage"; exit 1; \
+	fi; \
+	ok=$$(awk -v p="$$pct" -v f="$(OBS_COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "cover: internal/obs coverage $$pct% is below the $(OBS_COVER_FLOOR)% floor"; \
+		exit 1; \
+	fi; \
+	echo "cover: internal/obs coverage $$pct% (floor $(OBS_COVER_FLOOR)%)"
+
 # Deadline smoke test: sweeping the SAT-hard "square" benchmark under a
 # 100ms wall-clock budget must come back promptly with a partial result and
 # the undecided exit code (3), in both sequential and parallel mode.
@@ -66,7 +95,7 @@ bench-full:
 # resimulation, bucketed refinement, vector packing, and the sweeping
 # counterexample pool. BENCHCOUNT repetitions give the gate stable medians.
 BENCHCOUNT ?= 5
-BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler
+BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler|BenchmarkTracerOverhead
 .PHONY: bench
 bench:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \

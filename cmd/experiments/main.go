@@ -20,7 +20,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] {table1|table2|table2big|fig5|fig6|fig7|ablation|all}")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] {table1|table2|table2big|fig5|fig6|fig7|ablation|attribution|all}")
 		os.Exit(2)
 	}
 
@@ -76,6 +76,13 @@ func run(cmd string, cfg experiments.Config, fig7Iters int) error {
 		}
 		fmt.Println("== Figure 6: normalized differences on scaled benchmarks ==")
 		fmt.Print(experiments.FormatFigure(experiments.FigureRows(rows)))
+	case "attribution":
+		rows, err := experiments.Attribution(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Engine attribution: portfolio sweep per-engine breakdown ==")
+		fmt.Print(experiments.FormatAttribution(rows))
 	case "ablation":
 		res, err := experiments.Ablation(cfg)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"simgen"
+	"simgen/internal/obsflag"
 	"simgen/internal/prof"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -45,7 +47,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
 		os.Exit(2)
 	}
-	defer stopProf()
+	obsSetup, err := obsFlags.Open()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		stopProf()
+		os.Exit(2)
+	}
+	// exit tears down the observability stack (writing the -report file)
+	// and profiler before leaving; os.Exit skips deferred calls.
+	exit := func(code int) {
+		if err := obsSetup.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		stopProf()
+		os.Exit(code)
+	}
 
 	ctx := context.Background()
 	if *timeout < 0 {
@@ -62,32 +81,33 @@ func main() {
 		for _, b := range simgen.Benchmarks() {
 			fmt.Printf("%-10s %s\n", b.Name, b.Suite)
 		}
-		return
+		exit(0)
 	}
 
 	net, err := loadCircuit(*benchmark, flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	run := simgen.NewRunner(net, *randRounds, *seed)
 	run.BatchSize = *batch
+	run.SetTracer(obsSetup.Tracer)
 	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
 	fmt.Printf("initial classes: %d, cost: %d\n", run.Classes.NumClasses(), run.Classes.Cost())
 
 	if *replay != "" {
 		if err := replayPatterns(net, run, *replay); err != nil {
 			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	src, err := makeSource(net, *method, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	var dumped [][]bool
 	if *dump != "" {
@@ -107,22 +127,22 @@ func main() {
 		fmt.Printf("timeout after %d/%d iterations; partial cost: %d (%s)\n",
 			completed, *iterations, run.Classes.Cost(), src.Name())
 		flushPatterns(*dump, dumped)
-		stopProf()
-		os.Exit(3)
+		exit(3)
 	}
 	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
 	flushPatterns(*dump, dumped)
-	if err := finalSweep(ctx, net, run, *engine); err != nil {
+	if err := finalSweep(ctx, net, run, *engine, obsSetup.Tracer); err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }
 
 // finalSweep settles the refined candidate classes with the selected proof
 // engine, turning the generation run into an end-to-end sweep: the per-
 // iteration cost column above is exactly the worst-case number of proof
 // obligations this pass now discharges.
-func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string) error {
+func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string, tracer simgen.Tracer) error {
 	if engine == "none" {
 		return nil
 	}
@@ -130,7 +150,7 @@ func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, en
 	if err != nil {
 		return err
 	}
-	sw := simgen.NewSweeper(net, run.Classes, simgen.SweepOptions{Engine: kind})
+	sw := simgen.NewSweeper(net, run.Classes, simgen.SweepOptions{Engine: kind, Tracer: tracer})
 	res := sw.RunContext(ctx)
 	fmt.Printf("%s sweep: %s\n", engine, res)
 	fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d\n",

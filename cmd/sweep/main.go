@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"simgen"
+	"simgen/internal/obsflag"
 	"simgen/internal/prof"
 )
 
@@ -47,6 +48,7 @@ type config struct {
 	bddFallback bool
 	bddNodes    int
 	workers     int
+	tracer      simgen.Tracer
 }
 
 func main() {
@@ -70,6 +72,7 @@ func main() {
 	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -77,7 +80,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(exitUsage)
 	}
+	obsSetup, err := obsFlags.Open()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		stopProf()
+		os.Exit(exitUsage)
+	}
+	cfg.tracer = obsSetup.Tracer
 	exit := func(code int) {
+		if err := obsSetup.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			if code == exitOK {
+				code = exitFail
+			}
+		}
 		stopProf()
 		os.Exit(code)
 	}
@@ -131,6 +147,7 @@ func (c config) sweepOptions() simgen.SweepOptions {
 		MaxEscalations:    c.maxEscalate,
 		BDDFallback:       c.bddFallback,
 		BDDNodeLimit:      c.bddNodes,
+		Tracer:            c.tracer,
 	}
 }
 
@@ -147,6 +164,7 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 	}
 
 	run := simgen.NewRunner(net, cfg.randRounds, cfg.seed)
+	run.SetTracer(cfg.tracer)
 	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
 	fmt.Printf("after random simulation: cost %d\n", run.Classes.Cost())
 
@@ -187,6 +205,7 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 		}
 	case "bdd":
 		sw := simgen.NewBDDSweeper(net, run.Classes, 0)
+		sw.SetTracer(cfg.tracer)
 		res := sw.RunContext(ctx)
 		rep = sw.Rep
 		fmt.Printf("BDD sweeping: %d checks in %v (%d BDD nodes)\n",

@@ -34,6 +34,10 @@ type engine struct {
 
 	queue  []network.NodeID
 	queued []bool
+
+	// implications counts row applications performed by propagate — the
+	// unit of implication work reported through GenStats.
+	implications int64
 }
 
 func newEngine(net *network.Network) *engine {
@@ -99,10 +103,12 @@ func (e *engine) propagate(strategy ImplicationStrategy) bool {
 		}
 		if count == 1 {
 			// Simple implication: the single row's values are forced.
+			e.implications++
 			e.applyRow(id, nd.Fanins, *first, st)
 			continue
 		}
 		if strategy == ImplAdvanced {
+			e.implications++
 			e.applyAgreement(id, nd.Fanins, rs, st)
 		}
 	}

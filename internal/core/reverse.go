@@ -23,6 +23,8 @@ type Reverse struct {
 	// Stats counters.
 	Attempts  int
 	Conflicts int
+
+	decisions int64 // random row choices made while justifying outputs
 }
 
 // NewReverse returns a reverse-simulation generator for the network.
@@ -36,6 +38,16 @@ func NewReverse(net *network.Network, seed int64) *Reverse {
 
 // Name implements VectorSource.
 func (r *Reverse) Name() string { return "RevS" }
+
+// GenStats implements StatsSource. Reverse simulation makes one random row
+// choice per visited node; those choices are its decisions.
+func (r *Reverse) GenStats() GenStats {
+	return GenStats{
+		Decisions:    r.decisions,
+		Implications: r.eng.implications,
+		Conflicts:    int64(r.Conflicts),
+	}
+}
 
 // VectorForPair attempts to build a vector giving node a the value 0 and
 // node b the value 1. It reports whether the backward traversal reached the
@@ -87,6 +99,7 @@ func (r *Reverse) VectorForPair(a, b network.NodeID) ([]bool, bool) {
 			r.Conflicts++
 			return nil, false // output value impossible (constant node)
 		}
+		r.decisions++
 		rw := cand[r.rng.Intn(len(cand))]
 		for i, f := range nd.Fanins {
 			v, cared := rw.cube.Has(i)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/sim"
 )
 
@@ -17,6 +18,32 @@ type VectorSource interface {
 	// NextBatch returns up to max vectors; an empty result means the
 	// source found nothing useful for the current classes.
 	NextBatch(classes *sim.Classes, max int) [][]bool
+}
+
+// GenStats aggregates the pattern-generation counters a vector source has
+// accumulated since creation: decision-strategy row choices, implication
+// engine row applications, justification conflicts, and backtracks.
+type GenStats struct {
+	Decisions    int64
+	Implications int64
+	Conflicts    int64
+	Backtracks   int64
+}
+
+// StatsSource is optionally implemented by vector sources (Generator,
+// Reverse) that track generation counters; the Runner uses it to attribute
+// per-batch deltas in its simulation-batch trace events.
+type StatsSource interface {
+	GenStats() GenStats
+}
+
+func (s GenStats) sub(prev GenStats) GenStats {
+	return GenStats{
+		Decisions:    s.Decisions - prev.Decisions,
+		Implications: s.Implications - prev.Implications,
+		Conflicts:    s.Conflicts - prev.Conflicts,
+		Backtracks:   s.Backtracks - prev.Backtracks,
+	}
 }
 
 // IterationStat records one simulation iteration of a Runner.
@@ -43,6 +70,11 @@ type Runner struct {
 	// is recycled across batches.
 	sim *sim.Simulator
 
+	// tr receives one KindSimBatch event per iteration; never nil
+	// (obs.Nop by default).
+	tr      obs.Tracer
+	lastGen GenStats // source counters at the previous batch boundary
+
 	elapsed time.Duration
 }
 
@@ -63,10 +95,15 @@ func NewRunner(net *network.Network, randRounds int, seed int64) *Runner {
 		Classes:   sim.NewClasses(net, vals),
 		BatchSize: 64,
 		sim:       simulator,
+		tr:        obs.Nop,
 	}
 	r.elapsed = time.Since(start)
 	return r
 }
+
+// SetTracer routes the runner's per-iteration simulation-batch events to t;
+// nil restores obs.Nop.
+func (r *Runner) SetTracer(t obs.Tracer) { r.tr = obs.OrNop(t) }
 
 // Elapsed returns the cumulative generation+simulation time.
 func (r *Runner) Elapsed() time.Duration { return r.elapsed }
@@ -108,12 +145,26 @@ func (r *Runner) StepContext(ctx context.Context, src VectorSource, iteration in
 		}
 	}
 	r.elapsed += time.Since(start)
-	return IterationStat{
+	st = IterationStat{
 		Iteration: iteration,
 		Cost:      r.Classes.Cost(),
 		Vectors:   len(vectors),
 		Elapsed:   r.elapsed,
-	}, ok
+	}
+	ev := obs.Event{Kind: obs.KindSimBatch,
+		Iter:    int32(iteration),
+		Vectors: int32(len(vectors)),
+		Cost:    int64(st.Cost),
+		Dur:     time.Since(start)}
+	if ss, okStats := src.(StatsSource); okStats {
+		gs := ss.GenStats()
+		d := gs.sub(r.lastGen)
+		r.lastGen = gs
+		ev.Decisions, ev.Implications = d.Decisions, d.Implications
+		ev.GenConflicts, ev.Backtracks = d.Conflicts, d.Backtracks
+	}
+	r.tr.Emit(ev)
+	return st, ok
 }
 
 // Run performs n iterations and returns the per-iteration statistics.

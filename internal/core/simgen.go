@@ -60,6 +60,7 @@ type Generator struct {
 	Conflicts  int // justifications abandoned due to a conflict
 	Preset     int // targets already fixed by earlier propagation
 	Backtracks int // decisions undone by backtracking
+	Decisions  int // truth-table rows chosen by the decision strategy
 }
 
 // NewGenerator returns a generator for the network with the given strategy.
@@ -78,6 +79,16 @@ func NewGenerator(net *network.Network, strategy Strategy, seed int64) *Generato
 
 // Name implements VectorSource.
 func (g *Generator) Name() string { return g.strategy.String() }
+
+// GenStats implements StatsSource.
+func (g *Generator) GenStats() GenStats {
+	return GenStats{
+		Decisions:    int64(g.Decisions),
+		Implications: g.eng.implications,
+		Conflicts:    int64(g.Conflicts),
+		Backtracks:   int64(g.Backtracks),
+	}
+}
 
 // OutGold assigns desired output values to the class members: alternating
 // zeros and ones in node-ID order, so that an equal number of members is
@@ -211,6 +222,7 @@ func (g *Generator) processTarget(target network.NodeID, want bool) bool {
 				mark: e.vals.mark(), node: cand, tried: map[int]bool{idx: true},
 			})
 		}
+		g.Decisions++
 		e.applyRowIndex(cand, idx)
 		if e.propagate(g.strategy.Impl) {
 			continue
@@ -229,6 +241,7 @@ func (g *Generator) processTarget(target network.NodeID, want bool) bool {
 				continue
 			}
 			top.tried[idx] = true
+			g.Decisions++
 			e.applyRowIndex(top.node, idx)
 			if e.propagate(g.strategy.Impl) {
 				recovered = true

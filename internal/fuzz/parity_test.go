@@ -7,6 +7,7 @@ import (
 
 	"simgen/internal/blif"
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/sweep"
 )
 
@@ -55,6 +56,62 @@ func TestSchedulerParitySequentialVsParallel(t *testing.T) {
 			if seqApply != parApply {
 				t.Fatalf("%s/%d: sweep.Apply output differs between workers=1 and workers=4",
 					name, trial)
+			}
+		}
+	}
+}
+
+// equalResolveMultiset reduces a recorded event stream to the multiset of
+// equal-verdict resolve events keyed on (a, b). Parallel workers claim
+// obligations in timing-dependent order, so differ/unknown obligations vary
+// between runs (a delayed pool flush reshapes later classes) — but the
+// proven-pair set is the union-find's merge forest, which the parity
+// guarantee pins down exactly.
+func equalResolveMultiset(r *obs.Recorder) map[[2]int32]int {
+	m := make(map[[2]int32]int)
+	for _, ev := range r.Filter(obs.KindResolve) {
+		if ev.Verdict == obs.VerdictEqual {
+			m[[2]int32{ev.A, ev.B}]++
+		}
+	}
+	return m
+}
+
+// TestResolveEventParitySequentialVsParallel extends the scheduler parity
+// gate down to the event stream: workers=1 and workers=4 must emit the same
+// multiset of equal-verdict resolve events, and the event-level balance
+// #obligation == #resolve + #worker_panic must hold in both modes.
+func TestResolveEventParitySequentialVsParallel(t *testing.T) {
+	cfg := Config{Seed: 99}
+	for _, name := range ShapeNames() {
+		shape := Shapes()[name]
+		for trial := 0; trial < 3; trial++ {
+			seed := iterationSeed(99, trial)
+			net := Generate(rand.New(rand.NewSource(seed)), shape)
+
+			seqRec, parRec := &obs.Recorder{}, &obs.Recorder{}
+			sweep.New(net, coarseClasses(net, cfg), sweep.Options{Tracer: seqRec}).Run()
+			sweep.New(net, coarseClasses(net, cfg), sweep.Options{Tracer: parRec}).RunParallel(4)
+
+			for mode, rec := range map[string]*obs.Recorder{"sequential": seqRec, "parallel": parRec} {
+				obligations := len(rec.Filter(obs.KindObligation))
+				resolved := len(rec.Filter(obs.KindResolve)) + len(rec.Filter(obs.KindWorkerPanic))
+				if obligations != resolved {
+					t.Fatalf("%s/%d %s: %d obligations claimed but %d resolved or dropped",
+						name, trial, mode, obligations, resolved)
+				}
+			}
+
+			seqSet, parSet := equalResolveMultiset(seqRec), equalResolveMultiset(parRec)
+			if len(seqSet) != len(parSet) {
+				t.Fatalf("%s/%d: %d distinct equal-resolve events sequential vs %d parallel",
+					name, trial, len(seqSet), len(parSet))
+			}
+			for key, n := range seqSet {
+				if parSet[key] != n {
+					t.Fatalf("%s/%d: resolve(a=%d b=%d verdict=equal) seen %d times sequential, %d parallel",
+						name, trial, key[0], key[1], n, parSet[key])
+				}
 			}
 		}
 	}

@@ -1,0 +1,135 @@
+// Golden-trace regression tests: the full instrumented pipeline, run with a
+// fixed seed and a single worker in deterministic JSONL mode, must produce a
+// byte-identical event stream. Any change to the event taxonomy, the field
+// ordering, or the scheduler's deterministic claim order shows up here as a
+// golden diff, reviewed like any other behavior change.
+//
+// Regenerate with: go test ./internal/obs/ -run TestGoldenTrace -update
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simgen/internal/core"
+	"simgen/internal/fuzz"
+	"simgen/internal/network"
+	"simgen/internal/obs"
+	"simgen/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+const (
+	goldenSeed  = 7
+	goldenIters = 4
+)
+
+// goldenTrace runs the deterministic single-worker pipeline on net and
+// returns the JSONL event stream with timestamps suppressed.
+func goldenTrace(t *testing.T, net *network.Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewJSONL(&buf)
+	tr.Deterministic = true
+	runner := core.NewRunner(net, 1, goldenSeed)
+	runner.SetTracer(tr)
+	runner.Run(core.NewGenerator(net, core.StrategySimGen, goldenSeed+1), goldenIters)
+	sweep.New(net, runner.Classes, sweep.Options{
+		Engine: sweep.EnginePortfolio,
+		Tracer: tr,
+	}).Run()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "traces", name+".jsonl")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace differs from golden %s (regenerate with -update if the change is intended)\n got %d bytes, want %d bytes\n%s",
+			path, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// firstDiff renders the first line where the two streams diverge.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return "first diff at line " + itoa(i) +
+				":\n got  " + string(gl[i]) + "\n want " + string(wl[i])
+		}
+	}
+	return "streams are a prefix of each other"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestGoldenTraceBenchmarks(t *testing.T) {
+	for _, bench := range []string{"alu4", "log2"} {
+		t.Run(bench, func(t *testing.T) {
+			net := benchNetwork(t, bench)
+			checkGolden(t, bench, goldenTrace(t, net))
+		})
+	}
+}
+
+func TestGoldenTraceFuzzPresets(t *testing.T) {
+	shapes := fuzz.Shapes()
+	for _, preset := range []string{"xor-heavy", "wide"} {
+		t.Run(preset, func(t *testing.T) {
+			shape, ok := shapes[preset]
+			if !ok {
+				t.Fatalf("unknown fuzz preset %q", preset)
+			}
+			net := fuzz.Generate(rand.New(rand.NewSource(goldenSeed)), shape)
+			checkGolden(t, "fuzz-"+preset, goldenTrace(t, net))
+		})
+	}
+}
+
+// TestGoldenTraceStable re-runs one pipeline twice in-process and demands
+// byte equality, so golden churn can only come from code changes, never
+// from run-to-run nondeterminism.
+func TestGoldenTraceStable(t *testing.T) {
+	net := benchNetwork(t, "alu4")
+	first := goldenTrace(t, net)
+	net2 := benchNetwork(t, "alu4")
+	second := goldenTrace(t, net2)
+	if !bytes.Equal(first, second) {
+		t.Errorf("deterministic pipeline is not reproducible in-process:\n%s", firstDiff(first, second))
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestKindNames(t *testing.T) {
+	for k := KindSweepStart; k < numKinds; k++ {
+		if k.String() == "invalid" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "invalid" {
+		t.Errorf("zero kind should be invalid, got %q", Kind(0).String())
+	}
+	if Kind(200).String() != "invalid" {
+		t.Errorf("out-of-range kind should be invalid, got %q", Kind(200).String())
+	}
+}
+
+func TestVerdictName(t *testing.T) {
+	cases := []struct {
+		v    int8
+		want string
+	}{
+		{VerdictUnknown, "unknown"},
+		{VerdictEqual, "equal"},
+		{VerdictDiffer, "differ"},
+		{int8(99), "unknown"},
+	}
+	for _, c := range cases {
+		if got := VerdictName(c.v); got != c.want {
+			t.Errorf("VerdictName(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// TestNopTracerZeroAlloc is the hot-path guarantee: emitting through the
+// default tracer must not allocate, no matter which fields are set.
+func TestNopTracerZeroAlloc(t *testing.T) {
+	ev := Event{Kind: KindProveVerdict, Engine: "sat", A: 12, B: 34,
+		Verdict: VerdictEqual, Conflicts: 100, Props: 2000, Dur: time.Millisecond}
+	tr := OrNop(nil)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(ev)
+	}); allocs != 0 {
+		t.Fatalf("Nop tracer allocates %v bytes/op on Emit, want 0", allocs)
+	}
+}
+
+// TestJSONLSteadyStateZeroAlloc: after the first event grows the buffer,
+// JSONL emission reuses it and stays allocation-free.
+func TestJSONLSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewJSONL(io.Discard)
+	ev := Event{Kind: KindProveVerdict, Engine: "sat", A: 12, B: 34,
+		Verdict: VerdictDiffer, Conflicts: 123456, Props: 7890123, Dur: time.Millisecond}
+	tr.Emit(ev) // warm the buffer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(ev)
+	}); allocs != 0 {
+		t.Fatalf("JSONL tracer allocates %v bytes/op at steady state, want 0", allocs)
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	r := &Recorder{}
+	if OrNop(r) != Tracer(r) {
+		t.Error("OrNop(t) should return t")
+	}
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if Multi() != Nop {
+		t.Error("Multi() should collapse to Nop")
+	}
+	if Multi(nil, Nop, nil) != Nop {
+		t.Error("Multi(nil, Nop) should collapse to Nop")
+	}
+	r := &Recorder{}
+	if Multi(nil, r, Nop) != Tracer(r) {
+		t.Error("Multi with one effective tracer should return it unwrapped")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	m := Multi(a, nil, b)
+	m.Emit(Event{Kind: KindSweepStart, Workers: 4})
+	m.Emit(Event{Kind: KindSweepDone, Cost: 7})
+	for i, r := range []*Recorder{a, b} {
+		evs := r.Events()
+		if len(evs) != 2 {
+			t.Fatalf("recorder %d got %d events, want 2", i, len(evs))
+		}
+		if evs[0].Workers != 4 || evs[1].Cost != 7 {
+			t.Errorf("recorder %d events corrupted: %+v", i, evs)
+		}
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := &Recorder{}
+	r.Emit(Event{Kind: KindObligation, A: 1, B: 2})
+	r.Emit(Event{Kind: KindResolve, A: 1, B: 2, Verdict: VerdictEqual})
+	r.Emit(Event{Kind: KindObligation, A: 3, B: 4})
+	if got := r.Filter(KindObligation); len(got) != 2 {
+		t.Errorf("Filter(KindObligation) = %d events, want 2", len(got))
+	}
+	if got := r.Filter(KindResolve); len(got) != 1 || got[0].Verdict != VerdictEqual {
+		t.Errorf("Filter(KindResolve) = %+v, want one equal-verdict event", got)
+	}
+	// Events returns a copy: mutating it must not affect the recorder.
+	evs := r.Events()
+	evs[0].Kind = KindSweepDone
+	if r.Events()[0].Kind != KindObligation {
+		t.Error("Events() does not copy the recorded slice")
+	}
+}

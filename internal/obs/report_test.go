@@ -1,0 +1,191 @@
+// Report-invariant property tests: the full pipeline (guided simulation +
+// portfolio sweep) runs under a Collector, and the aggregated Report must
+// agree with the sweep's own Result accounting exactly — the acceptance
+// criterion for the -report flag.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"simgen/internal/core"
+	"simgen/internal/genbench"
+	"simgen/internal/network"
+	"simgen/internal/obs"
+	"simgen/internal/sweep"
+)
+
+const (
+	reportSeed  = 42
+	reportIters = 6
+)
+
+func benchNetwork(t *testing.T, name string) *network.Network {
+	t.Helper()
+	b, ok := genbench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	net, err := b.LUTNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// runInstrumented runs the guided-simulation + portfolio-sweep pipeline on
+// the network with the tracer attached everywhere the CLI would attach it.
+func runInstrumented(net *network.Network, workers int, tr obs.Tracer) sweep.Result {
+	runner := core.NewRunner(net, 1, reportSeed)
+	runner.SetTracer(tr)
+	runner.Run(core.NewGenerator(net, core.StrategySimGen, reportSeed+1), reportIters)
+	sw := sweep.New(net, runner.Classes, sweep.Options{
+		Engine: sweep.EnginePortfolio,
+		Tracer: tr,
+	})
+	if workers > 1 {
+		return sw.RunParallel(workers)
+	}
+	return sw.Run()
+}
+
+func TestReportMatchesResult(t *testing.T) {
+	for _, bench := range []string{"alu4", "log2"} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", bench, workers), func(t *testing.T) {
+				net := benchNetwork(t, bench)
+				col := obs.NewCollector()
+				res := runInstrumented(net, workers, col)
+				rep := col.Report()
+				o := rep.Obligations
+
+				// Obligation balance: every claimed obligation is resolved
+				// or dropped by a worker panic, never lost.
+				if o.Scheduled != o.Equal+o.Differ+o.Unknown+o.Dropped {
+					t.Errorf("obligations unbalanced: %d scheduled != %d equal + %d differ + %d unknown + %d dropped",
+						o.Scheduled, o.Equal, o.Differ, o.Unknown, o.Dropped)
+				}
+
+				// The report's counts are the Result's counts: the two views
+				// are produced independently (events vs. scheduler fields)
+				// and must agree exactly.
+				if o.Scheduled != res.Scheduled {
+					t.Errorf("scheduled: report %d, result %d", o.Scheduled, res.Scheduled)
+				}
+				if o.Equal != res.Proved {
+					t.Errorf("proved: report %d, result %d", o.Equal, res.Proved)
+				}
+				if o.Differ != res.Disproved {
+					t.Errorf("disproved: report %d, result %d", o.Differ, res.Disproved)
+				}
+				if o.Dropped != res.WorkerPanics {
+					t.Errorf("dropped: report %d, result panics %d", o.Dropped, res.WorkerPanics)
+				}
+				// Unresolved folds three sources: prove-unknown verdicts,
+				// defective pairs dropped by pool flushes, and panics.
+				if want := o.Unknown + rep.Pool.Dropped + o.Dropped; want != res.Unresolved {
+					t.Errorf("unresolved: report %d+%d+%d, result %d",
+						o.Unknown, rep.Pool.Dropped, o.Dropped, res.Unresolved)
+				}
+
+				// Per-engine prove counts match the Result's engine fields.
+				engines := map[string]obs.EngineReport{}
+				for _, e := range rep.Engines {
+					engines[e.Name] = e
+				}
+				if got := engines["sat"].Proves; got != res.SATCalls {
+					t.Errorf("sat proves: report %d, result %d", got, res.SATCalls)
+				}
+				if got := engines["sim"].Proves; got != res.SimChecks {
+					t.Errorf("sim proves: report %d, result %d", got, res.SimChecks)
+				}
+				if got := engines["bdd"].Proves; got != res.BDDChecks {
+					t.Errorf("bdd proves: report %d, result %d", got, res.BDDChecks)
+				}
+				if got := engines["sat"].Conflicts; got != res.Conflicts {
+					t.Errorf("sat conflicts: report %d, result %d", got, res.Conflicts)
+				}
+				if got := engines["sat"].Propagations; got != res.Propagations {
+					t.Errorf("sat propagations: report %d, result %d", got, res.Propagations)
+				}
+
+				total := 0
+				for _, n := range rep.Escalations {
+					total += n
+				}
+				if total != res.Escalations {
+					t.Errorf("escalations: report %v (sum %d), result %d",
+						rep.Escalations, total, res.Escalations)
+				}
+				if rep.BDDBlowups != res.BDDBlowups {
+					t.Errorf("bdd blowups: report %d, result %d", rep.BDDBlowups, res.BDDBlowups)
+				}
+				if rep.Pool.Flushes != res.PoolFlushes {
+					t.Errorf("pool flushes: report %d, result %d", rep.Pool.Flushes, res.PoolFlushes)
+				}
+				if rep.Pool.Lanes != res.PoolLanes {
+					t.Errorf("pool lanes: report %d, result %d", rep.Pool.Lanes, res.PoolLanes)
+				}
+				if rep.FinalCost != int64(res.FinalCost) {
+					t.Errorf("final cost: report %d, result %d", rep.FinalCost, res.FinalCost)
+				}
+
+				// Time attribution: prove time is the same sum the sweeper
+				// reports, and cannot exceed the workers' combined wall time.
+				if rep.ProveTime != res.SATTime {
+					t.Errorf("prove time: report %v, result %v", rep.ProveTime, res.SATTime)
+				}
+				for _, e := range rep.Engines {
+					if e.Time < 0 || e.Time > rep.ProveTime {
+						t.Errorf("engine %s time %v outside [0, %v]", e.Name, e.Time, rep.ProveTime)
+					}
+				}
+				if budget := rep.Wall * time.Duration(rep.Workers); rep.ProveTime > budget {
+					t.Errorf("prove time %v exceeds wall*workers %v", rep.ProveTime, budget)
+				}
+				if rep.Utilization < 0 || rep.Utilization > 1 {
+					t.Errorf("utilization %v outside [0, 1]", rep.Utilization)
+				}
+				if rep.Workers != workers {
+					t.Errorf("workers: report %d, ran %d", rep.Workers, workers)
+				}
+
+				// Generation accounting: one batch event per guided iteration.
+				if rep.Gen.Batches != reportIters {
+					t.Errorf("gen batches: report %d, ran %d iterations", rep.Gen.Batches, reportIters)
+				}
+				if rep.Gen.Implications <= 0 {
+					t.Error("guided generation reported no implication work")
+				}
+			})
+		}
+	}
+}
+
+// TestReportJSONRoundTrip: the -report JSON re-parses into an identical
+// Report, so downstream consumers (cmd/experiments) can rely on the schema.
+func TestReportJSONRoundTrip(t *testing.T) {
+	net := benchNetwork(t, "alu4")
+	col := obs.NewCollector()
+	runInstrumented(net, 1, col)
+	rep := col.Report()
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report changed across JSON round trip:\n%+v\nvs\n%+v", rep, back)
+	}
+	if rep.Format() == "" {
+		t.Error("Format returned an empty rendering")
+	}
+}

@@ -1,0 +1,121 @@
+// Package obsflag wires the observability CLI flags shared by the
+// command-line tools (-trace, -report, -metrics-addr) into a composed
+// tracer, an end-of-run report writer, and an HTTP metrics endpoint.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simgen/internal/obs"
+)
+
+// Flags holds the raw values of the observability flags.
+type Flags struct {
+	Trace       string
+	Report      string
+	MetricsAddr string
+}
+
+// Register installs the observability flags on fs and returns the holder
+// their values are parsed into.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL event trace to this file")
+	fs.StringVar(&f.Report, "report", "", "write a structured end-of-run report (JSON) to this file")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve runtime metrics over HTTP on this address (e.g. localhost:0)")
+	return f
+}
+
+// Setup is the live observability stack built from parsed flags. Tracer is
+// never nil: with every flag off it is obs.Nop and costs nothing.
+type Setup struct {
+	Tracer obs.Tracer
+
+	flags      Flags
+	traceFile  *os.File
+	jsonl      *obs.JSONL
+	reportFile *os.File
+	collector  *obs.Collector
+	metrics    *obs.Metrics
+	stop       func() error
+}
+
+// Open materializes the stack: the trace file is created and truncated, the
+// metrics endpoint starts listening (its bound address is printed to
+// stderr, so ":0" works for tests), and Tracer composes every enabled sink.
+func (f *Flags) Open() (*Setup, error) {
+	s := &Setup{Tracer: obs.Nop, flags: *f}
+	var tracers []obs.Tracer
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = file
+		s.jsonl = obs.NewJSONL(file)
+		tracers = append(tracers, s.jsonl)
+	}
+	if f.Report != "" {
+		// Create the file up front so an unwritable path is a usage error
+		// before the run, not a surprise after an hour of sweeping.
+		file, err := os.Create(f.Report)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.reportFile = file
+		s.collector = obs.NewCollector()
+		tracers = append(tracers, s.collector)
+	}
+	if f.MetricsAddr != "" {
+		s.metrics = obs.NewMetrics()
+		addr, stop, err := s.metrics.Serve(f.MetricsAddr)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.stop = stop
+		fmt.Fprintf(os.Stderr, "metrics: listening on http://%s/metrics\n", addr)
+		tracers = append(tracers, obs.NewMetricsTracer(s.metrics))
+	}
+	s.Tracer = obs.Multi(tracers...)
+	return s, nil
+}
+
+// Report returns the aggregated run report; ok is false when -report was
+// not requested.
+func (s *Setup) Report() (r obs.Report, ok bool) {
+	if s.collector == nil {
+		return obs.Report{}, false
+	}
+	return s.collector.Report(), true
+}
+
+// Close flushes and tears the stack down: the report file is written, the
+// trace file is closed (surfacing any deferred write error), and the
+// metrics endpoint is shut. It returns the first error encountered.
+func (s *Setup) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.reportFile != nil {
+		keep(s.collector.Report().WriteJSON(s.reportFile))
+		keep(s.reportFile.Close())
+		s.reportFile = nil
+	}
+	if s.traceFile != nil {
+		keep(s.jsonl.Err())
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.stop != nil {
+		keep(s.stop())
+		s.stop = nil
+	}
+	return first
+}

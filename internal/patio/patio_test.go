@@ -59,6 +59,85 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// TestReadEdgeCases covers the inputs real pattern files produce: Windows
+// line endings, padding blank lines, comments interleaved with patterns,
+// and a missing final newline.
+func TestReadEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		width int
+		want  int // patterns parsed
+	}{
+		{"crlf", "101\r\n010\r\n", 0, 2},
+		{"crlf with header", "# exported\r\n11\r\n00\r\n", 2, 2},
+		{"trailing blank line", "101\n010\n\n", 0, 2},
+		{"trailing blank lines and spaces", "11\n00\n \n\t\n", 0, 2},
+		{"comment between patterns", "101\n# checkpoint\n010\n", 3, 2},
+		{"indented pattern", "  101\n\t010\n", 3, 2},
+		{"comment only", "# nothing else\n", 0, 0},
+		{"no final newline", "101\n010", 0, 2},
+		{"whole-line comment then width change ok", "# 5 wide\n10101\n", 5, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := Read(strings.NewReader(c.src), c.width)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if len(got) != c.want {
+				t.Fatalf("parsed %d patterns, want %d", len(got), c.want)
+			}
+		})
+	}
+}
+
+// TestReadErrorPositions checks that parse errors carry the 1-based line
+// (and for bad bits, column) of the offending input, so a user can fix a
+// multi-megabyte pattern file without bisecting it.
+func TestReadErrorPositions(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		width int
+		want  string
+	}{
+		{"bad bit reports line and column", "101\n012\n", 0, "patio:2:3: invalid bit '2'"},
+		{"bad bit after comment lines", "# a\n# b\n1x1\n", 0, "patio:3:2: invalid bit 'x'"},
+		{"width mismatch reports line", "101\n01\n", 3, "patio:2: pattern has 2 bits, want 3"},
+		{"inconsistent width reports line", "101\n\n# note\n0110\n", 0, "patio:4: inconsistent pattern width 4 vs 3"},
+		{"crlf does not shift columns", "11\r\n1z\r\n", 0, "patio:2:2: invalid bit 'z'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.src), c.width)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if err.Error() != c.want {
+				t.Errorf("error %q, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestRoundTripCRLFRewrite: a file written on Windows (CRLF) round-trips
+// through Read and a fresh Write into canonical LF form with the same bits.
+func TestRoundTripCRLFRewrite(t *testing.T) {
+	vectors, err := Read(strings.NewReader("10\r\n01\r\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, vectors); err != nil {
+		t.Fatal(err)
+	}
+	want := "# 2 patterns, 2 inputs\n10\n01\n"
+	if buf.String() != want {
+		t.Errorf("rewrite:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
 func TestEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, nil); err != nil {

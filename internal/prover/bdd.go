@@ -7,6 +7,7 @@ import (
 
 	"simgen/internal/bdd"
 	"simgen/internal/network"
+	"simgen/internal/obs"
 )
 
 // BDD proves pairs on canonical decision diagrams. Equivalence queries are
@@ -15,6 +16,7 @@ import (
 // so Budget is ignored and a blow-up yields Unknown.
 type BDD struct {
 	builder *bdd.Builder
+	tr      obs.Tracer
 }
 
 // NewBDD creates a BDD engine; maxNodes bounds the node table (0 = the
@@ -22,15 +24,20 @@ type BDD struct {
 func NewBDD(net *network.Network, maxNodes int) *BDD {
 	b := bdd.NewBuilder(net)
 	b.M.MaxNodes = maxNodes
-	return &BDD{builder: b}
+	return &BDD{builder: b, tr: obs.Nop}
 }
 
 // Name implements Engine.
 func (e *BDD) Name() string { return "bdd" }
 
+// SetTracer implements Engine.
+func (e *BDD) SetTracer(t obs.Tracer) { e.tr = obs.OrNop(t) }
+
 // Prove implements Engine.
 func (e *BDD) Prove(ctx context.Context, a, b network.NodeID, _ Budget) Result {
 	var res Result
+	e.tr.Emit(obs.Event{Kind: obs.KindProveStart, Engine: "bdd",
+		A: int32(a), B: int32(b)})
 	start := time.Now()
 	cex, differ, err := e.builder.Counterexample(a, b)
 	res.Stats.Time = time.Since(start)
@@ -41,12 +48,15 @@ func (e *BDD) Prove(ctx context.Context, a, b network.NodeID, _ Budget) Result {
 			panic(err) // builder errors other than blow-up are bugs
 		}
 		res.Stats.BDDBlowups++
+		e.tr.Emit(obs.Event{Kind: obs.KindBDDBlowup, A: int32(a), B: int32(b)})
 	case !differ:
 		res.Verdict = Equal
 	default:
 		res.Verdict = Differ
 		res.Cex = cex
 	}
+	e.tr.Emit(obs.Event{Kind: obs.KindProveVerdict, Engine: "bdd",
+		A: int32(a), B: int32(b), Verdict: int8(res.Verdict), Dur: res.Stats.Time})
 	return res
 }
 

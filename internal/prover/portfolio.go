@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 )
 
 // Policy is the portfolio's degradation schedule — what used to be
@@ -42,6 +43,7 @@ func (p Policy) factor() int64 {
 type Portfolio struct {
 	net    *network.Network
 	policy Policy
+	tr     obs.Tracer
 
 	sim *Sim // nil when disabled
 	sat *SAT
@@ -53,7 +55,7 @@ type Portfolio struct {
 func NewPortfolio(net *network.Network, policy Policy, hook FaultHook) *Portfolio {
 	s := NewSAT(net)
 	s.Hook = hook
-	p := &Portfolio{net: net, policy: policy, sat: s}
+	p := &Portfolio{net: net, policy: policy, tr: obs.Nop, sat: s}
 	if policy.SimPIs > 0 {
 		p.sim = NewSim(net, policy.SimPIs)
 	}
@@ -62,6 +64,19 @@ func NewPortfolio(net *network.Network, policy Policy, hook FaultHook) *Portfoli
 
 // Name implements Engine.
 func (p *Portfolio) Name() string { return "portfolio" }
+
+// SetTracer implements Engine, propagating the tracer to every stage
+// (including the lazily built BDD fallback).
+func (p *Portfolio) SetTracer(t obs.Tracer) {
+	p.tr = obs.OrNop(t)
+	p.sat.SetTracer(t)
+	if p.sim != nil {
+		p.sim.SetTracer(t)
+	}
+	if p.bdd != nil {
+		p.bdd.SetTracer(t)
+	}
+}
 
 // Prove implements Engine by running the schedule until a stage decides.
 func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budget) Result {
@@ -79,6 +94,8 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 		if rung > 0 {
 			budget = budget.scale(factor)
 			agg.Escalations++
+			p.tr.Emit(obs.Event{Kind: obs.KindEscalation,
+				A: int32(a), B: int32(b), Rung: int32(rung), Budget: budget.Conflicts})
 		}
 		r := p.sat.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
@@ -95,6 +112,7 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 	if p.policy.BDDFallback {
 		if p.bdd == nil {
 			p.bdd = NewBDD(p.net, p.policy.BDDNodeLimit)
+			p.bdd.SetTracer(p.tr)
 		}
 		r := p.bdd.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)

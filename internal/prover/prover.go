@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 )
 
 // Verdict is an engine's answer for one node pair.
@@ -54,14 +55,18 @@ func (b Budget) scale(factor int64) Budget {
 }
 
 // Stats accounts the work one or more Prove calls performed. The scheduler
-// sums these into its sweep Result.
+// sums these into its sweep Result. Conflicts and Propagations surface the
+// SAT solver's own work counters per call, so budget spend is attributable
+// per obligation and per escalation rung.
 type Stats struct {
-	SATCalls    int           // SAT solver invocations
-	BDDChecks   int           // BDD equivalence queries
-	SimChecks   int           // exhaustive-simulation proofs attempted
-	Escalations int           // budget-escalation retries
-	BDDBlowups  int           // BDD node-table blow-ups
-	Time        time.Duration // cumulative engine wall time
+	SATCalls     int           // SAT solver invocations
+	BDDChecks    int           // BDD equivalence queries
+	SimChecks    int           // exhaustive-simulation proofs attempted
+	Escalations  int           // budget-escalation retries
+	BDDBlowups   int           // BDD node-table blow-ups
+	Conflicts    int64         // SAT conflicts spent
+	Propagations int64         // SAT unit propagations spent
+	Time         time.Duration // cumulative engine wall time
 }
 
 // Add accumulates o into s.
@@ -71,6 +76,8 @@ func (s *Stats) Add(o Stats) {
 	s.SimChecks += o.SimChecks
 	s.Escalations += o.Escalations
 	s.BDDBlowups += o.BDDBlowups
+	s.Conflicts += o.Conflicts
+	s.Propagations += o.Propagations
 	s.Time += o.Time
 }
 
@@ -100,6 +107,10 @@ type Engine interface {
 	// promptly; the returned stop releases the watcher. Engines whose
 	// individual checks are already bounded may return a no-op.
 	Watch(ctx context.Context) (stop func())
+	// SetTracer directs the engine's observability events (Prove
+	// start/verdict with budget spent, escalations, blow-ups) to t.
+	// Engines default to obs.Nop; passing nil restores it.
+	SetTracer(t obs.Tracer)
 }
 
 // Fault is a test-only injected failure, returned by a FaultHook to

@@ -8,6 +8,7 @@ import (
 
 	"simgen/internal/cnf"
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/sat"
 )
 
@@ -26,39 +27,50 @@ type SAT struct {
 
 	solver *sat.Solver
 	enc    *cnf.Encoder
+	tr     obs.Tracer
 }
 
 // NewSAT creates a SAT-miter engine over the network.
 func NewSAT(net *network.Network) *SAT {
 	solver := sat.New()
-	return &SAT{solver: solver, enc: cnf.NewEncoder(net, solver)}
+	return &SAT{solver: solver, enc: cnf.NewEncoder(net, solver), tr: obs.Nop}
 }
 
 // Name implements Engine.
 func (e *SAT) Name() string { return "sat" }
 
+// SetTracer implements Engine.
+func (e *SAT) SetTracer(t obs.Tracer) { e.tr = obs.OrNop(t) }
+
 // Prove implements Engine: one Solve call under the given budget.
 func (e *SAT) Prove(ctx context.Context, a, b network.NodeID, budget Budget) Result {
 	var res Result
+	e.tr.Emit(obs.Event{Kind: obs.KindProveStart, Engine: "sat",
+		A: int32(a), B: int32(b), Budget: budget.Conflicts})
 	if e.Hook != nil {
 		switch e.Hook(a, b) {
 		case FaultUnknown:
 			res.Stats.SATCalls++
+			e.emitVerdict(a, b, res)
 			return res
 		case FaultPanic:
 			panic(fmt.Sprintf("prover: injected fault on pair (%d,%d)", a, b))
 		case FaultAssumeEqual:
 			res.Stats.SATCalls++
 			res.Verdict = Equal
+			e.emitVerdict(a, b, res)
 			return res
 		}
 	}
 	e.solver.SetBudget(budget.Conflicts, budget.Propagations)
 	x := e.enc.Miter(a, b)
+	before := e.solver.Stats
 	start := time.Now()
 	status := e.solver.Solve(x)
 	res.Stats.Time = time.Since(start)
 	res.Stats.SATCalls++
+	res.Stats.Conflicts = e.solver.Stats.Conflicts - before.Conflicts
+	res.Stats.Propagations = e.solver.Stats.Propagations - before.Propagations
 	switch status {
 	case sat.Unsat:
 		res.Verdict = Equal
@@ -66,7 +78,16 @@ func (e *SAT) Prove(ctx context.Context, a, b network.NodeID, budget Budget) Res
 		res.Verdict = Differ
 		res.Cex = e.enc.Model()
 	}
+	e.emitVerdict(a, b, res)
 	return res
+}
+
+// emitVerdict reports one finished Prove call with its budget spend.
+func (e *SAT) emitVerdict(a, b network.NodeID, res Result) {
+	e.tr.Emit(obs.Event{Kind: obs.KindProveVerdict, Engine: "sat",
+		A: int32(a), B: int32(b), Verdict: int8(res.Verdict),
+		Conflicts: res.Stats.Conflicts, Props: res.Stats.Propagations,
+		Dur: res.Stats.Time})
 }
 
 // Learn implements Engine: the equality is asserted as two clauses, making

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 )
 
 // DefaultSimPIs is the default combined-support cutoff for the exhaustive
@@ -22,6 +23,7 @@ const DefaultSimPIs = 12
 type Sim struct {
 	net    *network.Network
 	maxPIs int
+	tr     obs.Tracer
 
 	// Reusable per-call scratch: vals[node] is that node's simulation words
 	// for the current pair, arena the backing store, stamp/epoch the
@@ -42,6 +44,7 @@ func NewSim(net *network.Network, maxPIs int) *Sim {
 	return &Sim{
 		net:    net,
 		maxPIs: maxPIs,
+		tr:     obs.Nop,
 		vals:   make([][]uint64, n),
 		stamp:  make([]uint32, n),
 	}
@@ -49,6 +52,9 @@ func NewSim(net *network.Network, maxPIs int) *Sim {
 
 // Name implements Engine.
 func (e *Sim) Name() string { return "sim" }
+
+// SetTracer implements Engine.
+func (e *Sim) SetTracer(t obs.Tracer) { e.tr = obs.OrNop(t) }
 
 // exhaustive lane patterns for support variables 0..5; variable j >= 6
 // selects whole words instead.
@@ -78,17 +84,22 @@ func Support(net *network.Network, a, b network.NodeID) []network.NodeID {
 	return pis
 }
 
-// Prove implements Engine.
+// Prove implements Engine. Declined pairs (support over the cutoff) emit
+// no events: the engine did no work for them.
 func (e *Sim) Prove(ctx context.Context, a, b network.NodeID, _ Budget) Result {
 	support := Support(e.net, a, b)
 	if len(support) > e.maxPIs {
 		return Result{} // declined: Unknown with zero stats
 	}
 	var res Result
+	e.tr.Emit(obs.Event{Kind: obs.KindProveStart, Engine: "sim",
+		A: int32(a), B: int32(b)})
 	start := time.Now()
 	res.Verdict, res.Cex = e.enumerate(a, b, support)
 	res.Stats.Time = time.Since(start)
 	res.Stats.SimChecks++
+	e.tr.Emit(obs.Event{Kind: obs.KindProveVerdict, Engine: "sim",
+		A: int32(a), B: int32(b), Verdict: int8(res.Verdict), Dur: res.Stats.Time})
 	return res
 }
 

@@ -81,6 +81,43 @@ func BenchmarkResimulate(b *testing.B) {
 	}
 }
 
+// TestSimulateZeroAlloc guards the arena invariant behind the tracing
+// layer's zero-cost claim: a reused Simulator must not allocate on the
+// batch-simulation hot path, so any instrumentation added there shows up
+// as a regression here before it shows up in the bench gate.
+func TestSimulateZeroAlloc(t *testing.T) {
+	net := benchNet(48, 2000, 1)
+	rng := rand.New(rand.NewSource(2))
+	inputs := RandomInputs(net, 1, rng)
+	net.Covers(0)
+	s := NewSimulator(net)
+	s.Simulate(inputs, 1) // warm the arena
+	if allocs := testing.AllocsPerRun(10, func() {
+		s.Simulate(inputs, 1)
+	}); allocs != 0 {
+		t.Fatalf("Simulate allocates %v objects/op on the reuse path, want 0", allocs)
+	}
+}
+
+// TestResimulateZeroAlloc guards the incremental path the counterexample
+// pool drives: flipping one input and recomputing its fanout cone must not
+// allocate either.
+func TestResimulateZeroAlloc(t *testing.T) {
+	net := benchNet(48, 2000, 1)
+	rng := rand.New(rand.NewSource(3))
+	inputs := RandomInputs(net, 1, rng)
+	net.Fanouts(0)
+	s := NewSimulator(net)
+	s.Simulate(inputs, 1)
+	w := Words{rng.Uint64()}
+	if allocs := testing.AllocsPerRun(10, func() {
+		s.SetInput(0, w)
+		s.Resimulate()
+	}); allocs != 0 {
+		t.Fatalf("Resimulate allocates %v objects/op, want 0", allocs)
+	}
+}
+
 // BenchmarkRefine compares signature-bucketed refinement against the
 // seed's pairwise-comparison grouping (exactGroups, retained in-package as
 // the reference) on a converged partition — the common case: most

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
@@ -51,6 +52,14 @@ func NewBDD(net *network.Network, classes *sim.Classes, maxNodes int) *BDDSweepe
 		eng:     eng,
 		sched:   newScheduler(net, classes, Options{}, eng, nil, nil),
 	}
+}
+
+// SetTracer routes the sweep's observability events (and the BDD engine's
+// prove events) to t; nil restores obs.Nop.
+func (s *BDDSweeper) SetTracer(t obs.Tracer) {
+	tr := obs.OrNop(t)
+	s.sched.tr = tr
+	s.eng.SetTracer(tr)
 }
 
 // Rep returns the proven-equivalence representative of a node.

@@ -1,10 +1,12 @@
 package sweep
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/sim"
 	"simgen/internal/tt"
 )
@@ -89,6 +91,40 @@ func BenchmarkObligationScheduler(b *testing.B) {
 				classes := coarseSweepClasses(net)
 				b.StartTimer()
 				res := New(net, classes, bench.opts).RunParallel(bench.workers)
+				if res.Proved+res.Disproved == 0 {
+					b.Fatal("benchmark proved and disproved nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTracerOverhead measures the observability tax on the sequential
+// scheduler hot path: no tracer configured (the default), the explicit Nop
+// tracer, and a live JSONL tracer writing to io.Discard. The bench gate
+// diffs "none" against the committed baseline; "nop" must stay within noise
+// of it (the <2% acceptance bound), and "jsonl" bounds the worst case a
+// user opts into with -trace.
+func BenchmarkTracerOverhead(b *testing.B) {
+	net := benchSweepNet(24, 400, 2)
+	net.Covers(0)
+	net.Fanouts(0)
+	for _, bench := range []struct {
+		name   string
+		tracer obs.Tracer
+	}{
+		{"none", nil},
+		{"nop", obs.Nop},
+		{"jsonl", obs.NewJSONL(io.Discard)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				classes := coarseSweepClasses(net)
+				b.StartTimer()
+				res := New(net, classes, Options{Tracer: bench.tracer}).Run()
 				if res.Proved+res.Disproved == 0 {
 					b.Fatal("benchmark proved and disproved nothing")
 				}

@@ -133,6 +133,7 @@ func CECContext(ctx context.Context, a, b *network.Network, opts CECOptions) (CE
 		opts.RandomRounds = 2
 	}
 	runner := core.NewRunner(m, opts.RandomRounds, opts.Seed)
+	runner.SetTracer(opts.Sweep.Tracer)
 	if opts.GuidedIterations > 0 {
 		gen := core.NewGenerator(m, core.StrategySimGen, opts.Seed+1)
 		runner.RunContext(ctx, gen, opts.GuidedIterations)

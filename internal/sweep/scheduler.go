@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
@@ -80,6 +82,10 @@ type scheduler struct {
 	primary prover.Engine
 	factory func() prover.Engine
 
+	// tr receives the scheduler's observability events; engines built for
+	// this scheduler share it. Never nil (obs.Nop by default).
+	tr obs.Tracer
+
 	uf   *unionFind
 	pool *cexPool
 
@@ -99,6 +105,16 @@ type scheduler struct {
 // arena simulator for the network pass it to avoid a second kernel).
 func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 	primary prover.Engine, factory func() prover.Engine, simulator *sim.Simulator) *scheduler {
+	tr := obs.OrNop(opts.Tracer)
+	primary.SetTracer(tr)
+	if factory != nil {
+		inner := factory
+		factory = func() prover.Engine {
+			e := inner()
+			e.SetTracer(tr)
+			return e
+		}
+	}
 	return &scheduler{
 		net:     net,
 		classes: classes,
@@ -106,6 +122,7 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 		budget:  prover.Budget{Conflicts: opts.ConflictBudget, Propagations: opts.PropagationBudget},
 		primary: primary,
 		factory: factory,
+		tr:      tr,
 		uf:      newUnionFind(net.NumNodes()),
 		pool:    newCexPool(net, classes, simulator),
 		claimed: make(map[network.NodeID]bool),
@@ -120,13 +137,16 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 func (s *scheduler) run(ctx context.Context, workers int) Result {
 	s.res = Result{}
 	s.snap = nil
+	start := time.Now()
 	if workers <= 1 || s.factory == nil {
+		s.tr.Emit(obs.Event{Kind: obs.KindSweepStart, Workers: 1})
 		func() {
 			stop := s.primary.Watch(ctx)
 			defer stop()
-			s.work(ctx, s.primary, false)
+			s.work(ctx, s.primary, 0, false)
 		}()
 	} else {
+		s.tr.Emit(obs.Event{Kind: obs.KindSweepStart, Workers: int32(workers)})
 		// Warm the shared caches that are lazily built and not
 		// goroutine-safe: covers (row tables / CNF cubes) and
 		// fanout/level data.
@@ -141,12 +161,12 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 				eng = s.factory()
 			}
 			wg.Add(1)
-			go func(eng prover.Engine) {
+			go func(eng prover.Engine, wid int32) {
 				defer wg.Done()
 				stop := eng.Watch(ctx)
 				defer stop()
-				s.work(ctx, eng, true)
-			}(eng)
+				s.work(ctx, eng, wid, true)
+			}(eng, int32(i))
 		}
 		wg.Wait()
 	}
@@ -154,25 +174,27 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 	s.flushPool(&s.res)
 	s.finish(ctx)
 	s.mu.Unlock()
+	s.tr.Emit(obs.Event{Kind: obs.KindSweepDone,
+		Cost: int64(s.res.FinalCost), Dur: time.Since(start)})
 	return s.res
 }
 
 // work is the per-worker loop: claim an obligation, prove it, fold the
 // verdict into the shared state, repeat until the queue runs dry.
-func (s *scheduler) work(ctx context.Context, eng prover.Engine, isolate bool) {
+func (s *scheduler) work(ctx context.Context, eng prover.Engine, wid int32, isolate bool) {
 	for ctx.Err() == nil {
-		ob, ok := s.next()
+		ob, ok := s.next(wid)
 		if !ok {
 			return
 		}
-		s.process(ctx, eng, ob, isolate)
+		s.process(ctx, eng, wid, ob, isolate)
 	}
 }
 
 // process proves one obligation. With isolate set, an engine panic is
 // recovered and converted to an unresolved verdict so one poisoned worker
 // cannot take down a parallel sweep.
-func (s *scheduler) process(ctx context.Context, eng prover.Engine, ob obligation, isolate bool) {
+func (s *scheduler) process(ctx context.Context, eng prover.Engine, wid int32, ob obligation, isolate bool) {
 	defer s.release(ob.rep)
 	if isolate {
 		defer func() {
@@ -182,11 +204,13 @@ func (s *scheduler) process(ctx context.Context, eng prover.Engine, ob obligatio
 				s.res.Unresolved++
 				s.classes.Remove(ob.m)
 				s.mu.Unlock()
+				s.tr.Emit(obs.Event{Kind: obs.KindWorkerPanic, Worker: wid,
+					Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m)})
 			}
 		}()
 	}
 	pr := eng.Prove(ctx, ob.rep, ob.m, s.budget)
-	if s.apply(ctx, ob, pr) {
+	if s.apply(ctx, wid, ob, pr) {
 		eng.Learn(ob.rep, ob.m)
 	}
 }
@@ -196,7 +220,7 @@ func (s *scheduler) process(ctx context.Context, eng prover.Engine, ob obligatio
 // it is refreshed (splits create classes a stale snapshot cannot see), and
 // the queue is empty only when a full fresh pass yields nothing claimable
 // and no counterexamples are pending.
-func (s *scheduler) next() (obligation, bool) {
+func (s *scheduler) next(wid int32) (obligation, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.opts.MaxPairs > 0 && s.res.SATCalls >= s.opts.MaxPairs {
@@ -229,6 +253,10 @@ func (s *scheduler) next() (obligation, bool) {
 			}
 			s.claimed[rep] = true
 			s.progress = true
+			s.res.Scheduled++
+			s.tr.Emit(obs.Event{Kind: obs.KindObligation, Worker: wid,
+				Class: int32(ci), A: int32(rep), B: int32(members[1]),
+				Pending: int32(len(s.snap) - s.snapPos)})
 			// The cursor stays on ci: a sequential worker returns straight
 			// to the same class until it is settled.
 			return obligation{ci: ci, rep: rep, m: members[1]}, true
@@ -254,7 +282,7 @@ func (s *scheduler) release(rep network.NodeID) {
 
 // apply folds one prover outcome into the shared state; it reports whether
 // the verdict was Equal so the caller can teach its engine the equality.
-func (s *scheduler) apply(ctx context.Context, ob obligation, pr prover.Result) bool {
+func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prover.Result) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := pr.Stats
@@ -264,6 +292,11 @@ func (s *scheduler) apply(ctx context.Context, ob obligation, pr prover.Result) 
 	s.res.BDDChecks += st.BDDChecks
 	s.res.SimChecks += st.SimChecks
 	s.res.BDDBlowups += st.BDDBlowups
+	s.res.Conflicts += st.Conflicts
+	s.res.Propagations += st.Propagations
+	s.tr.Emit(obs.Event{Kind: obs.KindResolve, Worker: wid,
+		Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
+		Verdict: int8(pr.Verdict), Dur: st.Time})
 	switch pr.Verdict {
 	case prover.Equal:
 		// Guard against the pair having been split meanwhile — impossible
@@ -306,9 +339,17 @@ func (s *scheduler) flushPool(res *Result) {
 		return
 	}
 	lanes := s.pool.lanes
-	res.Unresolved += len(s.pool.flush())
+	before := s.classes.NumClasses()
+	start := time.Now()
+	dropped := s.pool.flush()
+	res.Unresolved += len(dropped)
 	res.PoolFlushes++
 	res.PoolLanes += lanes
+	s.tr.Emit(obs.Event{Kind: obs.KindPoolFlush,
+		Lanes:   int32(lanes),
+		Splits:  int32(s.classes.NumClasses() - before),
+		Dropped: int32(len(dropped)),
+		Dur:     time.Since(start)})
 }
 
 // finish stamps the final accounting shared by all run modes; the caller

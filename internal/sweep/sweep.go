@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
@@ -123,6 +124,12 @@ type Options struct {
 	// FaultHook, when set, is consulted before every SAT pair check and may
 	// inject a failure for that pair. Testing only.
 	FaultHook func(a, b network.NodeID) Fault
+
+	// Tracer receives the sweep's observability events (obligations,
+	// verdicts, escalations, pool flushes); nil means obs.Nop, which
+	// keeps the hot path allocation-free. Tracers must be goroutine-safe
+	// when sweeping with multiple workers.
+	Tracer obs.Tracer
 }
 
 // policy translates the options into the portfolio's degradation schedule.
@@ -148,6 +155,7 @@ func (o Options) policy() prover.Policy {
 
 // Result reports the work performed by a sweep.
 type Result struct {
+	Scheduled  int           // proof obligations claimed by workers
 	SATCalls   int           // number of SAT Solve invocations
 	SATTime    time.Duration // cumulative engine prove wall time
 	Proved     int           // pairs proven equivalent (merged)
@@ -156,15 +164,17 @@ type Result struct {
 	CexVectors int           // counterexamples re-simulated
 	FinalCost  int           // Eq. (5) cost after sweeping
 
-	Escalations  int  // escalated SAT re-checks performed
-	BDDChecks    int  // pairs referred to the BDD engine
-	BDDBlowups   int  // BDD checks abandoned on the node limit
-	SimChecks    int  // pairs settled by exhaustive simulation
-	WorkerPanics int  // worker panics converted to unresolved verdicts
-	PoolFlushes  int  // batched counterexample refinements performed
-	PoolLanes    int  // total vector lanes simulated across pool flushes
-	Incomplete   bool // a deadline, cancel, or MaxPairs stopped the sweep early
-	TimedOut     bool // the early stop was a context deadline
+	Escalations  int   // escalated SAT re-checks performed
+	BDDChecks    int   // pairs referred to the BDD engine
+	BDDBlowups   int   // BDD checks abandoned on the node limit
+	SimChecks    int   // pairs settled by exhaustive simulation
+	Conflicts    int64 // SAT conflicts spent across all calls
+	Propagations int64 // SAT unit propagations spent across all calls
+	WorkerPanics int   // worker panics converted to unresolved verdicts
+	PoolFlushes  int   // batched counterexample refinements performed
+	PoolLanes    int   // total vector lanes simulated across pool flushes
+	Incomplete   bool  // a deadline, cancel, or MaxPairs stopped the sweep early
+	TimedOut     bool  // the early stop was a context deadline
 }
 
 func (r Result) String() string {

@@ -44,6 +44,7 @@ import (
 	"simgen/internal/mapper"
 	"simgen/internal/metrics"
 	"simgen/internal/network"
+	"simgen/internal/obs"
 	"simgen/internal/patio"
 	"simgen/internal/sim"
 	"simgen/internal/sweep"
@@ -109,7 +110,40 @@ type (
 	// EngineKind selects the proof engine a Sweeper schedules obligations
 	// on (SweepOptions.Engine).
 	EngineKind = sweep.EngineKind
+	// Tracer receives typed observability events from the simulation and
+	// sweeping pipeline (SweepOptions.Tracer, Runner.SetTracer).
+	Tracer = obs.Tracer
+	// TraceEvent is one observability event.
+	TraceEvent = obs.Event
+	// JSONLTracer streams events as JSON Lines.
+	JSONLTracer = obs.JSONL
+	// Collector aggregates events into an end-of-run Report.
+	Collector = obs.Collector
+	// RunReport is the collector's structured end-of-run summary.
+	RunReport = obs.Report
+	// Metrics is a registry of counters, gauges, and latency histograms.
+	Metrics = obs.Metrics
 )
+
+// NopTracer discards every event at zero cost; it is the default wherever a
+// Tracer is accepted.
+var NopTracer = obs.Nop
+
+// NewJSONLTracer returns a tracer streaming events to w as JSON Lines.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// NewCollector returns a tracer aggregating events into a RunReport.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewMetrics returns an empty metrics registry; NewMetricsTracer adapts it
+// into a Tracer updating the registry on every event.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewMetricsTracer returns a tracer folding events into the registry.
+func NewMetricsTracer(m *Metrics) Tracer { return obs.NewMetricsTracer(m) }
+
+// MultiTracer fans events out to every non-nil tracer.
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
 
 // Proof engines for SweepOptions.Engine.
 const (
