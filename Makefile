@@ -26,14 +26,23 @@ build:
 test:
 	$(GO) test -race ./...
 
-# Focused race-detector pass over the concurrent core: the parallel
-# obligation scheduler, the prover portfolio, the simulation kernel, and the
-# observability layer whose tracers must be goroutine-safe. Narrower than
-# `make test` so it stays fast enough to iterate on while debugging a race.
+# Full race-detector pass: every package, no caching. The scheduler's
+# termination protocol is decided against fresh state (scheduler.go next),
+# so the cross-package parity and clean-campaign suites run here too —
+# nothing is scoped out.
 .PHONY: race
 race:
-	$(GO) test -race -count=1 ./internal/sweep/... ./internal/prover/... \
-		./internal/sim/... ./internal/obs/...
+	$(GO) test -race -count=1 ./...
+
+# Schedule-perturbation soak: the interleaving-sweep matrix at nightly
+# scale (SIMGEN_PERTURB_COMBOS chaos schedules instead of the CI default
+# 200), plus a perturbed differential campaign through the CLI.
+PERTURB_COMBOS ?= 2000
+.PHONY: fuzz-perturb
+fuzz-perturb:
+	SIMGEN_PERTURB_COMBOS=$(PERTURB_COMBOS) $(GO) test -race -count=1 \
+		-run 'TestInterleavingSweep' ./internal/fuzz
+	$(GO) run ./cmd/fuzz -n 100 -seed 1 -perturb -perturb-schedules 4 -oracle differential
 
 # Coverage over the library packages, with a soft floor on internal/obs:
 # the observability layer is pure bookkeeping, so uncovered lines there are

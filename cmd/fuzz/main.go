@@ -48,6 +48,10 @@ func run() int {
 		maxFailures   = flag.Int("max-failures", 1, "stop after this many failures")
 		oracle        = flag.String("oracle", "both", "oracles to run: differential|metamorphic|both")
 		workers       = flag.Int("workers", 4, "workers for the parallel sweeping engine")
+		perturb       = flag.Bool("perturb", false,
+			"run extra parallel sweeps under chaos schedules (injected yields, delays, forced flushes, spurious wakeups)")
+		perturbSchedules = flag.Int("perturb-schedules", 4,
+			"distinct chaos schedules per circuit when -perturb is set")
 		injectUnsound = flag.Bool("inject-unsound", false,
 			"self-test: skip the SAT check on one pair per sweep (the oracle must catch this)")
 		listShapes = flag.Bool("list-shapes", false, "print the preset shapes and exit")
@@ -76,6 +80,13 @@ func run() int {
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+	}
+	if *perturb {
+		if *perturbSchedules < 1 {
+			fmt.Fprintf(os.Stderr, "fuzz: -perturb-schedules must be >= 1, got %d\n", *perturbSchedules)
+			return exitUsage
+		}
+		opts.Config.PerturbSchedules = *perturbSchedules
 	}
 	switch *oracle {
 	case "differential":

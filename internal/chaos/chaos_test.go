@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestScheduleDeterministic: the same seed must reproduce the same action
+// sequence for the same consultation order — the replayability contract.
+func TestScheduleDeterministic(t *testing.T) {
+	draw := func() []Action {
+		s := NewSchedule(42, FaultProfile())
+		var out []Action
+		for i := 0; i < 500; i++ {
+			out = append(out, s.At(Point(i%int(NumPoints)), int32(i), int32(i*3)))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical schedules: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScheduleSeedsDiffer: distinct seeds must explore distinct
+// perturbation patterns, otherwise the seed matrix buys no coverage.
+func TestScheduleSeedsDiffer(t *testing.T) {
+	s1 := NewSchedule(1, ScheduleProfile())
+	s2 := NewSchedule(2, ScheduleProfile())
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if s1.At(PointClaim, int32(i), 0) == s2.At(PointClaim, int32(i), 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("two different seeds drew identical action sequences")
+	}
+}
+
+// TestScheduleWeights: the drawn action distribution must roughly follow
+// the profile, and a zero profile must never perturb.
+func TestScheduleWeights(t *testing.T) {
+	s := NewSchedule(7, Profile{Yield: 500})
+	yields, nones := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		switch s.At(PointResolve, int32(i), int32(i+1)) {
+		case ActYield:
+			yields++
+		case ActNone:
+			nones++
+		default:
+			t.Fatal("profile with only Yield weight drew another action")
+		}
+	}
+	if yields < n/3 || yields > 2*n/3 {
+		t.Errorf("Yield=500 permille drew %d/%d yields", yields, n)
+	}
+	zero := NewSchedule(7, Profile{})
+	for i := 0; i < 200; i++ {
+		if act := zero.At(PointClaim, int32(i), 0); act != ActNone {
+			t.Fatalf("zero profile injected %v", act)
+		}
+	}
+}
+
+// TestScheduleConcurrent: concurrent consultation must stay race-clean
+// (this test is meaningful under -race) and count every decision.
+func TestScheduleConcurrent(t *testing.T) {
+	s := NewSchedule(3, FaultProfile())
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.At(Point(i%int(NumPoints)), int32(w), int32(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Decisions(); got != workers*per {
+		t.Errorf("Decisions() = %d, want %d", got, workers*per)
+	}
+}
+
+// TestNames: every point and action renders a distinct non-empty name
+// (they key observability events and log lines).
+func TestNames(t *testing.T) {
+	seenP := map[string]bool{}
+	for p := Point(0); p < NumPoints; p++ {
+		name := p.String()
+		if name == "" || name == "invalid" || seenP[name] {
+			t.Errorf("point %d has bad name %q", p, name)
+		}
+		seenP[name] = true
+	}
+	seenA := map[string]bool{}
+	for a := Action(0); a < numActions; a++ {
+		name := a.String()
+		if name == "" || name == "invalid" || seenA[name] {
+			t.Errorf("action %d has bad name %q", a, name)
+		}
+		seenA[name] = true
+	}
+	if !ActFail.Faulty() || !ActPanic.Faulty() || !ActTimeout.Faulty() {
+		t.Error("fault actions not marked Faulty")
+	}
+	if ActYield.Faulty() || ActFlush.Faulty() || ActNone.Faulty() {
+		t.Error("schedule actions marked Faulty")
+	}
+}

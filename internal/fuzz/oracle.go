@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"simgen/internal/chaos"
 	"simgen/internal/network"
 	"simgen/internal/sim"
 	"simgen/internal/sweep"
@@ -30,6 +31,12 @@ type Config struct {
 	// unlimited so every engine must fully resolve each circuit; FaultHook
 	// can deliberately break the sweeper to prove the oracle catches it.
 	SweepOpts sweep.Options
+	// PerturbSchedules additionally runs the parallel engine that many
+	// times under distinct chaos schedules (timing-only perturbation:
+	// injected yields, delays, forced flushes, spurious wakeups). Schedule
+	// shaping must never change verdicts, so each perturbed run is held to
+	// the full differential oracle. 0 disables perturbed runs.
+	PerturbSchedules int
 	// ResetFault, when set, is called at the start of every oracle check so
 	// a stateful FaultHook (e.g. fire-once unsoundness injection) re-arms
 	// for each circuit — the shrinker re-checks candidates many times and
@@ -196,6 +203,18 @@ func runEngines(net *network.Network, cfg Config) []engineRun {
 		name: "portfolio", rep: port.Rep,
 		unresolved: portRes.Unresolved, incomplete: portRes.Incomplete,
 	})
+
+	for i := 0; i < cfg.PerturbSchedules; i++ {
+		perturbOpts := cfg.SweepOpts
+		perturbOpts.Chaos = chaos.NewSchedule(cfg.Seed+int64(i)*7919+1, chaos.ScheduleProfile())
+		p := sweep.New(net, freshClasses(), perturbOpts)
+		pr := p.RunParallel(cfg.workers())
+		runs = append(runs, engineRun{
+			name: fmt.Sprintf("sat-parallel-perturb-%d", i), rep: p.Rep,
+			unresolved: pr.Unresolved, incomplete: pr.Incomplete,
+			panics: pr.WorkerPanics,
+		})
+	}
 	return runs
 }
 

@@ -80,7 +80,8 @@ func equalResolveMultiset(r *obs.Recorder) map[[2]int32]int {
 // TestResolveEventParitySequentialVsParallel extends the scheduler parity
 // gate down to the event stream: workers=1 and workers=4 must emit the same
 // multiset of equal-verdict resolve events, and the event-level balance
-// #obligation == #resolve + #worker_panic must hold in both modes.
+// #obligation == #resolve + #worker_panic + #requeue must hold in both
+// modes (every claimed obligation ends in exactly one of the three).
 func TestResolveEventParitySequentialVsParallel(t *testing.T) {
 	cfg := Config{Seed: 99}
 	for _, name := range ShapeNames() {
@@ -95,9 +96,11 @@ func TestResolveEventParitySequentialVsParallel(t *testing.T) {
 
 			for mode, rec := range map[string]*obs.Recorder{"sequential": seqRec, "parallel": parRec} {
 				obligations := len(rec.Filter(obs.KindObligation))
-				resolved := len(rec.Filter(obs.KindResolve)) + len(rec.Filter(obs.KindWorkerPanic))
+				resolved := len(rec.Filter(obs.KindResolve)) +
+					len(rec.Filter(obs.KindWorkerPanic)) +
+					len(rec.Filter(obs.KindRequeue))
 				if obligations != resolved {
-					t.Fatalf("%s/%d %s: %d obligations claimed but %d resolved or dropped",
+					t.Fatalf("%s/%d %s: %d obligations claimed but %d resolved, dropped, or requeued",
 						name, trial, mode, obligations, resolved)
 				}
 			}

@@ -26,6 +26,10 @@ type Collector struct {
 	differ    int
 	unknown   int
 	panics    int
+	dropped   int // panic events with no retry left: claimed, never resolved
+	requeued  int // requeue events + panic events with a retry left
+	retried   int // obligation claims that were retries of requeued pairs
+	perturbs  int // chaos perturbation actions fired
 
 	escalations []int // count per rung (index rung-1)
 	bddBlowups  int
@@ -57,6 +61,9 @@ func (c *Collector) Emit(ev Event) {
 		c.cost = ev.Cost
 	case KindObligation:
 		c.scheduled++
+		if ev.Retries > 0 {
+			c.retried++
+		}
 		if ev.Pending > c.queuePeak {
 			c.queuePeak = ev.Pending
 		}
@@ -97,6 +104,15 @@ func (c *Collector) Emit(ev Event) {
 		c.bddBlowups++
 	case KindWorkerPanic:
 		c.panics++
+		if ev.Retries > 0 {
+			c.requeued++
+		} else {
+			c.dropped++
+		}
+	case KindRequeue:
+		c.requeued++
+	case KindPerturb:
+		c.perturbs++
 	case KindPoolFlush:
 		c.pool.Flushes++
 		c.pool.Lanes += int(ev.Lanes)
@@ -136,13 +152,16 @@ type EngineReport struct {
 }
 
 // ObligationReport balances the scheduler's proof obligations:
-// Scheduled == Equal + Differ + Unknown + Dropped.
+// Scheduled == Equal + Differ + Unknown + Dropped + Requeued.
 type ObligationReport struct {
 	Scheduled int `json:"scheduled"`
 	Equal     int `json:"equal"`
 	Differ    int `json:"differ"`
 	Unknown   int `json:"unknown"`
-	Dropped   int `json:"dropped"` // worker panics: claimed but never resolved
+	Dropped   int `json:"dropped"`  // panics out of retries: claimed, never resolved
+	Requeued  int `json:"requeued"` // returned to the queue after a panic or transient failure
+	Retried   int `json:"retried"`  // requeued pairs claimed again
+	Panics    int `json:"panics"`   // recovered worker panics (requeued or dropped)
 	QueuePeak int `json:"queue_peak"`
 }
 
@@ -175,6 +194,7 @@ type Report struct {
 	// Escalations[i] counts pairs that reached rung i+1 of the ladder.
 	Escalations []int         `json:"escalations,omitempty"`
 	BDDBlowups  int           `json:"bdd_blowups,omitempty"`
+	Perturbs    int           `json:"perturbs,omitempty"`
 	Pool        PoolReport    `json:"pool"`
 	Gen         GenReport     `json:"gen"`
 	ProveTime   time.Duration `json:"prove_time_ns"`
@@ -197,11 +217,15 @@ func (c *Collector) Report() Report {
 			Equal:     c.equal,
 			Differ:    c.differ,
 			Unknown:   c.unknown,
-			Dropped:   c.panics,
+			Dropped:   c.dropped,
+			Requeued:  c.requeued,
+			Retried:   c.retried,
+			Panics:    c.panics,
 			QueuePeak: int(c.queuePeak),
 		},
 		Escalations: append([]int(nil), c.escalations...),
 		BDDBlowups:  c.bddBlowups,
+		Perturbs:    c.perturbs,
 		Pool:        c.pool,
 		Gen:         c.gen,
 		ProveTime:   c.proveTime,
@@ -238,8 +262,15 @@ func (r Report) Format() string {
 		r.Wall.Round(time.Microsecond), r.Workers,
 		r.ProveTime.Round(time.Microsecond), 100*r.Utilization)
 	o := r.Obligations
-	fmt.Fprintf(&b, "obligations: %d scheduled = %d equal + %d differ + %d unknown + %d dropped (queue peak %d)\n",
-		o.Scheduled, o.Equal, o.Differ, o.Unknown, o.Dropped, o.QueuePeak)
+	fmt.Fprintf(&b, "obligations: %d scheduled = %d equal + %d differ + %d unknown + %d dropped + %d requeued (queue peak %d)\n",
+		o.Scheduled, o.Equal, o.Differ, o.Unknown, o.Dropped, o.Requeued, o.QueuePeak)
+	if o.Panics > 0 || o.Retried > 0 {
+		fmt.Fprintf(&b, "degradation: %d worker panics, %d requeued, %d retried\n",
+			o.Panics, o.Requeued, o.Retried)
+	}
+	if r.Perturbs > 0 {
+		fmt.Fprintf(&b, "chaos: %d perturbations injected\n", r.Perturbs)
+	}
 	if len(r.Engines) > 0 {
 		fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %12s %12s\n",
 			"engine", "proves", "equal", "differ", "unknown", "time", "conflicts")

@@ -70,6 +70,7 @@ func (t *JSONL) Emit(ev Event) {
 		b = appendField(b, "class", int64(ev.Class))
 		b = appendPair(b, ev)
 		b = appendField(b, "pending", int64(ev.Pending))
+		b = appendOptField(b, "retries", int64(ev.Retries))
 	case KindResolve:
 		b = appendField(b, "class", int64(ev.Class))
 		b = appendPair(b, ev)
@@ -88,7 +89,21 @@ func (t *JSONL) Emit(ev Event) {
 		b = appendPair(b, ev)
 		b = appendField(b, "rung", int64(ev.Rung))
 		b = appendOptField(b, "budget", ev.Budget)
-	case KindBDDBlowup, KindWorkerPanic:
+	case KindBDDBlowup:
+		b = appendPair(b, ev)
+	case KindWorkerPanic:
+		b = appendPair(b, ev)
+		b = appendOptField(b, "retries", int64(ev.Retries))
+	case KindRequeue:
+		b = appendField(b, "class", int64(ev.Class))
+		b = appendPair(b, ev)
+		b = appendField(b, "retries", int64(ev.Retries))
+	case KindPerturb:
+		b = append(b, `,"point":"`...)
+		b = append(b, ev.Point...)
+		b = append(b, `","act":"`...)
+		b = append(b, ev.Act...)
+		b = append(b, '"')
 		b = appendPair(b, ev)
 	case KindPoolFlush:
 		b = appendField(b, "lanes", int64(ev.Lanes))

@@ -23,6 +23,8 @@ func sampleEvents() []Event {
 			Verdict: VerdictEqual, Conflicts: 37, Props: 420, Dur: time.Microsecond},
 		{Kind: KindBDDBlowup, A: 12, B: 13},
 		{Kind: KindWorkerPanic, Worker: 1, Class: 5, A: 12, B: 13},
+		{Kind: KindRequeue, Worker: 0, Class: 5, A: 14, B: 15, Retries: 1},
+		{Kind: KindPerturb, Worker: 1, Point: "claim", Act: "yield", A: 14, B: 15},
 		{Kind: KindResolve, Worker: 1, Class: 4, A: 10, B: 11, Verdict: VerdictEqual},
 		{Kind: KindPoolFlush, Lanes: 9, Splits: 4, Dropped: 1, Dur: time.Microsecond},
 		{Kind: KindSweepDone, Cost: 42, Dur: time.Second},
@@ -103,6 +105,15 @@ func TestJSONLExactEncoding(t *testing.T) {
 			`{"k":"prove_start","seq":0,"engine":"sat","a":1,"b":2}`},
 		{Event{Kind: KindPoolFlush, Lanes: 5, Splits: 2},
 			`{"k":"pool_flush","seq":0,"lanes":5,"splits":2}`},
+		// A first claim omits retries; a retry claim carries it.
+		{Event{Kind: KindObligation, Worker: 1, Class: 4, A: 10, B: 11, Pending: 6},
+			`{"k":"obligation","seq":0,"worker":1,"class":4,"a":10,"b":11,"pending":6}`},
+		{Event{Kind: KindObligation, Worker: 1, Class: 4, A: 10, B: 11, Pending: 6, Retries: 2},
+			`{"k":"obligation","seq":0,"worker":1,"class":4,"a":10,"b":11,"pending":6,"retries":2}`},
+		{Event{Kind: KindRequeue, Class: 5, A: 14, B: 15, Retries: 1},
+			`{"k":"requeue","seq":0,"class":5,"a":14,"b":15,"retries":1}`},
+		{Event{Kind: KindPerturb, Worker: 2, Point: "verdict", Act: "fail", A: 14, B: 15},
+			`{"k":"perturb","seq":0,"worker":2,"point":"verdict","act":"fail","a":14,"b":15}`},
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer

@@ -224,11 +224,15 @@ type MetricsTracer struct {
 	resolveNeq  *Counter
 	resolveUnk  *Counter
 	panics      *Counter
+	requeues    *Counter
+	retried     *Counter
+	perturbs    *Counter
 	escalations *Counter
 	bddBlowups  *Counter
 	poolFlushes *Counter
 	poolLanes   *Counter
 	poolSplits  *Counter
+	poolDropped *Counter
 	simBatches  *Counter
 	simVectors  *Counter
 	genDec      *Counter
@@ -262,11 +266,15 @@ func NewMetricsTracer(m *Metrics) *MetricsTracer {
 		resolveNeq:  m.Counter("sweep.resolve.differ"),
 		resolveUnk:  m.Counter("sweep.resolve.unknown"),
 		panics:      m.Counter("sweep.worker_panics"),
+		requeues:    m.Counter("sweep.requeues"),
+		retried:     m.Counter("sweep.retried"),
+		perturbs:    m.Counter("chaos.perturbs"),
 		escalations: m.Counter("sweep.escalations"),
 		bddBlowups:  m.Counter("sweep.bdd_blowups"),
 		poolFlushes: m.Counter("pool.flushes"),
 		poolLanes:   m.Counter("pool.lanes"),
 		poolSplits:  m.Counter("pool.splits"),
+		poolDropped: m.Counter("pool.dropped"),
 		simBatches:  m.Counter("sim.batches"),
 		simVectors:  m.Counter("sim.vectors"),
 		genDec:      m.Counter("gen.decisions"),
@@ -304,6 +312,9 @@ func (t *MetricsTracer) Emit(ev Event) {
 	switch ev.Kind {
 	case KindObligation:
 		t.obligations.Add(1)
+		if ev.Retries > 0 {
+			t.retried.Add(1)
+		}
 		t.queueDepth.Set(int64(ev.Pending))
 	case KindResolve:
 		switch ev.Verdict {
@@ -334,10 +345,18 @@ func (t *MetricsTracer) Emit(ev Event) {
 		t.bddBlowups.Add(1)
 	case KindWorkerPanic:
 		t.panics.Add(1)
+		if ev.Retries > 0 {
+			t.requeues.Add(1)
+		}
+	case KindRequeue:
+		t.requeues.Add(1)
+	case KindPerturb:
+		t.perturbs.Add(1)
 	case KindPoolFlush:
 		t.poolFlushes.Add(1)
 		t.poolLanes.Add(int64(ev.Lanes))
 		t.poolSplits.Add(int64(ev.Splits))
+		t.poolDropped.Add(int64(ev.Dropped))
 		t.flushTime.Observe(ev.Dur)
 	case KindSimBatch:
 		t.simBatches.Add(1)

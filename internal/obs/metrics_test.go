@@ -139,23 +139,31 @@ func TestMetricsTracerAggregates(t *testing.T) {
 	tr.Emit(Event{Kind: KindResolve, Verdict: VerdictDiffer})
 	tr.Emit(Event{Kind: KindEscalation, Rung: 1})
 	tr.Emit(Event{Kind: KindBDDBlowup})
-	tr.Emit(Event{Kind: KindWorkerPanic})
-	tr.Emit(Event{Kind: KindPoolFlush, Lanes: 6, Splits: 2, Dur: time.Microsecond})
+	tr.Emit(Event{Kind: KindWorkerPanic})                        // terminal: drop, no requeue
+	tr.Emit(Event{Kind: KindWorkerPanic, Retries: 1})            // panic-requeue
+	tr.Emit(Event{Kind: KindRequeue, Retries: 1})                // transient-failure requeue
+	tr.Emit(Event{Kind: KindObligation, Pending: 3, Retries: 1}) // the retry claim
+	tr.Emit(Event{Kind: KindPerturb, Point: "verdict", Act: "fail"})
+	tr.Emit(Event{Kind: KindPoolFlush, Lanes: 6, Splits: 2, Dropped: 1, Dur: time.Microsecond})
 	tr.Emit(Event{Kind: KindSimBatch, Vectors: 4, Decisions: 7, Implications: 30,
 		Backtracks: 1, GenConflicts: 2, Dur: time.Microsecond})
 
 	snap := m.Snapshot()
 	want := map[string]int64{
-		"sweep.obligations":    1,
-		"sweep.queue_depth":    8,
+		"sweep.obligations":    2,
+		"sweep.queue_depth":    3,
 		"sweep.resolve.equal":  1,
 		"sweep.resolve.differ": 1,
 		"sweep.escalations":    1,
 		"sweep.bdd_blowups":    1,
-		"sweep.worker_panics":  1,
+		"sweep.worker_panics":  2,
+		"sweep.requeues":       2,
+		"sweep.retried":        1,
+		"chaos.perturbs":       1,
 		"pool.flushes":         1,
 		"pool.lanes":           6,
 		"pool.splits":          2,
+		"pool.dropped":         1,
 		"sim.batches":          1,
 		"sim.vectors":          4,
 		"gen.decisions":        7,

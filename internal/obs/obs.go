@@ -47,7 +47,8 @@ const (
 	KindSweepDone
 	// KindObligation records a worker claiming one proof obligation
 	// (Worker, Class, A=rep, B=member, Pending=classes left in the
-	// current snapshot — the queue depth at claim time).
+	// current snapshot — the queue depth at claim time; Retries > 0 marks
+	// the claim as a retry of a requeued pair).
 	KindObligation
 	// KindResolve records the verdict for a claimed obligation being
 	// folded into the partition (Worker, Class, A, B, Verdict, Dur=engine
@@ -65,8 +66,10 @@ const (
 	KindEscalation
 	// KindBDDBlowup records a BDD check abandoned on the node limit (A, B).
 	KindBDDBlowup
-	// KindWorkerPanic records a recovered worker panic; the obligation is
-	// dropped and no KindResolve event follows (Worker, Class, A, B).
+	// KindWorkerPanic records a recovered worker panic; no KindResolve
+	// event follows (Worker, Class, A, B). Retries > 0 means the
+	// obligation was requeued for another attempt, Retries == 0 means its
+	// retry budget was exhausted and the pair was dropped.
 	KindWorkerPanic
 	// KindPoolFlush records a batched counterexample refinement (Lanes,
 	// Splits=class-count increase, i.e. the flush's split power,
@@ -76,6 +79,16 @@ const (
 	// Cost, Decisions/Implications/Backtracks/GenConflicts deltas from the
 	// vector source, Dur).
 	KindSimBatch
+	// KindRequeue records an obligation returned to the queue after a
+	// transient engine failure (Worker, Class, A, B, Retries=retry count
+	// after this requeue). A fresh KindObligation follows when the pair is
+	// claimed again. Panic-driven requeues are carried by KindWorkerPanic
+	// with Retries > 0 instead.
+	KindRequeue
+	// KindPerturb records a chaos-injected schedule perturbation firing
+	// (Worker, A, B, Point=decision point, Act=injected action). Emitted
+	// only when a chaos injector is installed, never in production runs.
+	KindPerturb
 
 	numKinds
 )
@@ -92,6 +105,8 @@ var kindNames = [numKinds]string{
 	KindWorkerPanic:  "worker_panic",
 	KindPoolFlush:    "pool_flush",
 	KindSimBatch:     "sim_batch",
+	KindRequeue:      "requeue",
+	KindPerturb:      "perturb",
 }
 
 func (k Kind) String() string {
@@ -151,6 +166,10 @@ type Event struct {
 
 	Workers int32 // worker count of the run
 	Pending int32 // queue depth when the obligation was claimed
+
+	Retries int32  // requeue ordinal: the pair's retry count at this event
+	Point   string // chaos decision point of a perturb event
+	Act     string // chaos action of a perturb event
 
 	Dur time.Duration // wall time attributable to the event
 }

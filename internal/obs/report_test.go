@@ -63,11 +63,11 @@ func TestReportMatchesResult(t *testing.T) {
 				rep := col.Report()
 				o := rep.Obligations
 
-				// Obligation balance: every claimed obligation is resolved
-				// or dropped by a worker panic, never lost.
-				if o.Scheduled != o.Equal+o.Differ+o.Unknown+o.Dropped {
-					t.Errorf("obligations unbalanced: %d scheduled != %d equal + %d differ + %d unknown + %d dropped",
-						o.Scheduled, o.Equal, o.Differ, o.Unknown, o.Dropped)
+				// Obligation balance: every claimed obligation is resolved,
+				// requeued, or dropped by a worker panic, never lost.
+				if o.Scheduled != o.Equal+o.Differ+o.Unknown+o.Dropped+o.Requeued {
+					t.Errorf("obligations unbalanced: %d scheduled != %d equal + %d differ + %d unknown + %d dropped + %d requeued",
+						o.Scheduled, o.Equal, o.Differ, o.Unknown, o.Dropped, o.Requeued)
 				}
 
 				// The report's counts are the Result's counts: the two views
@@ -82,11 +82,27 @@ func TestReportMatchesResult(t *testing.T) {
 				if o.Differ != res.Disproved {
 					t.Errorf("disproved: report %d, result %d", o.Differ, res.Disproved)
 				}
-				if o.Dropped != res.WorkerPanics {
-					t.Errorf("dropped: report %d, result panics %d", o.Dropped, res.WorkerPanics)
+				if o.Panics != res.WorkerPanics {
+					t.Errorf("panics: report %d, result %d", o.Panics, res.WorkerPanics)
+				}
+				if o.Requeued != res.Requeued {
+					t.Errorf("requeued: report %d, result %d", o.Requeued, res.Requeued)
+				}
+				if o.Retried != res.Retried {
+					t.Errorf("retried: report %d, result %d", o.Retried, res.Retried)
+				}
+				// Dropped counts terminal panics only — a subset of all
+				// recovered panics (the rest requeued their pair).
+				if o.Dropped > o.Panics {
+					t.Errorf("dropped %d exceeds panics %d", o.Dropped, o.Panics)
+				}
+				// Pool-drop attribution: the report's pool counter is the
+				// Result's dedicated PoolDropped field.
+				if rep.Pool.Dropped != res.PoolDropped {
+					t.Errorf("pool dropped: report %d, result %d", rep.Pool.Dropped, res.PoolDropped)
 				}
 				// Unresolved folds three sources: prove-unknown verdicts,
-				// defective pairs dropped by pool flushes, and panics.
+				// defective pairs dropped by pool flushes, and terminal panics.
 				if want := o.Unknown + rep.Pool.Dropped + o.Dropped; want != res.Unresolved {
 					t.Errorf("unresolved: report %d+%d+%d, result %d",
 						o.Unknown, rep.Pool.Dropped, o.Dropped, res.Unresolved)
@@ -163,6 +179,54 @@ func TestReportMatchesResult(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestReportDegradationAccounting drives a Collector with a synthetic
+// degraded stream — panic-requeues, transient-failure requeues, a terminal
+// panic, chaos perturbations — and pins how the report splits them. Clean
+// end-to-end runs never exercise these paths, so this is their only
+// unit-level pin outside the fuzz harness.
+func TestReportDegradationAccounting(t *testing.T) {
+	col := obs.NewCollector()
+	emit := func(ev obs.Event) { col.Emit(ev) }
+	emit(obs.Event{Kind: obs.KindSweepStart, Workers: 4})
+	// Pair 1: claimed, panics, requeued, retried, proven equal.
+	emit(obs.Event{Kind: obs.KindObligation, A: 1, B: 2})
+	emit(obs.Event{Kind: obs.KindWorkerPanic, A: 1, B: 2, Retries: 1})
+	emit(obs.Event{Kind: obs.KindObligation, A: 1, B: 2, Retries: 1})
+	emit(obs.Event{Kind: obs.KindResolve, A: 1, B: 2, Verdict: obs.VerdictEqual})
+	// Pair 2: claimed, transient engine failure, requeued, retried, differs.
+	emit(obs.Event{Kind: obs.KindObligation, A: 3, B: 4})
+	emit(obs.Event{Kind: obs.KindPerturb, Point: "verdict", Act: "fail", A: 3, B: 4})
+	emit(obs.Event{Kind: obs.KindRequeue, A: 3, B: 4, Retries: 1})
+	emit(obs.Event{Kind: obs.KindObligation, A: 3, B: 4, Retries: 1})
+	emit(obs.Event{Kind: obs.KindResolve, A: 3, B: 4, Verdict: obs.VerdictDiffer})
+	// Pair 3: claimed, panics with no retry left, dropped.
+	emit(obs.Event{Kind: obs.KindObligation, A: 5, B: 6})
+	emit(obs.Event{Kind: obs.KindWorkerPanic, A: 5, B: 6})
+
+	o := col.Report().Obligations
+	if o.Scheduled != 5 || o.Equal != 1 || o.Differ != 1 || o.Unknown != 0 {
+		t.Fatalf("resolution counts wrong: %+v", o)
+	}
+	if o.Panics != 2 {
+		t.Errorf("panics = %d, want 2", o.Panics)
+	}
+	if o.Requeued != 2 {
+		t.Errorf("requeued = %d, want 2 (one panic-requeue, one transient)", o.Requeued)
+	}
+	if o.Retried != 2 {
+		t.Errorf("retried = %d, want 2", o.Retried)
+	}
+	if o.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (the terminal panic)", o.Dropped)
+	}
+	if o.Scheduled != o.Equal+o.Differ+o.Unknown+o.Dropped+o.Requeued {
+		t.Errorf("balance broken: %+v", o)
+	}
+	if got := col.Report().Perturbs; got != 1 {
+		t.Errorf("perturbs = %d, want 1", got)
 	}
 }
 

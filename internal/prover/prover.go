@@ -87,6 +87,12 @@ type Result struct {
 	Verdict Verdict
 	Cex     []bool
 	Stats   Stats
+
+	// Transient marks an Unknown verdict as an injected or otherwise
+	// retryable failure rather than genuine budget exhaustion: the
+	// scheduler may requeue the pair instead of dropping it. Only the
+	// chaos-injection wrapper (WithChaos) sets it today.
+	Transient bool
 }
 
 // Engine proves or refutes candidate node equivalences over one network.

@@ -272,8 +272,8 @@ func TestCECDeadlineReportsUndecided(t *testing.T) {
 }
 
 func TestFaultPanicParallelWorkersAreIsolated(t *testing.T) {
-	// Crash every few checks: the sweep must still terminate, convert each
-	// crash into an unresolved verdict, release the claims, and keep
+	// Crash every few checks: the sweep must still terminate, requeue each
+	// crashed pair for a bounded retry, release the claims, and keep
 	// proving the remaining pairs.
 	net, run := benchClasses(t, "apex2", 1)
 	var calls atomic.Int64
@@ -292,6 +292,51 @@ func TestFaultPanicParallelWorkersAreIsolated(t *testing.T) {
 		if res.WorkerPanics == 0 {
 			t.Fatal("no injected panic reached a worker")
 		}
+		if res.Requeued == 0 {
+			t.Fatalf("no panicked pair was requeued: %s", res)
+		}
+		if res.Requeued > res.WorkerPanics {
+			t.Fatalf("more requeues than panics: %s", res)
+		}
+		// Every panic either requeued its pair or dropped it unresolved.
+		if res.Unresolved < res.WorkerPanics-res.Requeued {
+			t.Fatalf("dropped panicked pairs not accounted unresolved: %s", res)
+		}
+		if res.Retried == 0 {
+			t.Fatalf("no requeued pair was claimed again: %s", res)
+		}
+		if res.Proved == 0 {
+			t.Fatalf("surviving workers proved nothing: %s", res)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("parallel sweep deadlocked after injected panics")
+	}
+}
+
+func TestFaultPanicRetryDisabled(t *testing.T) {
+	// RetryLimit < 0 restores the pre-retry contract: the first panic on a
+	// pair drops it as unresolved, nothing is requeued.
+	net, run := benchClasses(t, "apex2", 1)
+	var calls atomic.Int64
+	sw := New(net, run.Classes, Options{
+		RetryLimit: -1,
+		FaultHook: func(a, b network.NodeID) Fault {
+			if calls.Add(1)%7 == 0 {
+				return FaultPanic
+			}
+			return FaultNone
+		},
+	})
+	done := make(chan Result, 1)
+	go func() { done <- sw.RunParallel(4) }()
+	select {
+	case res := <-done:
+		if res.WorkerPanics == 0 {
+			t.Fatal("no injected panic reached a worker")
+		}
+		if res.Requeued != 0 || res.Retried != 0 {
+			t.Fatalf("requeue ran with retries disabled: %s", res)
+		}
 		if res.Unresolved < res.WorkerPanics {
 			t.Fatalf("panicked pairs not accounted unresolved: %s", res)
 		}
@@ -300,6 +345,36 @@ func TestFaultPanicParallelWorkersAreIsolated(t *testing.T) {
 		}
 	case <-time.After(60 * time.Second):
 		t.Fatal("parallel sweep deadlocked after injected panics")
+	}
+}
+
+func TestFaultPanicRetryExhaustionDrops(t *testing.T) {
+	// A pair that panics on every attempt must exhaust its retry budget and
+	// be dropped as unresolved — requeueing is bounded, not a livelock.
+	net, run := benchClasses(t, "apex2", 1)
+	sw := New(net, run.Classes, Options{
+		RetryLimit: 2,
+		FaultHook:  func(a, b network.NodeID) Fault { return FaultPanic },
+	})
+	done := make(chan Result, 1)
+	go func() { done <- sw.RunParallel(4) }()
+	select {
+	case res := <-done:
+		if res.Proved != 0 || res.Disproved != 0 {
+			t.Fatalf("always-panicking engine settled pairs: %s", res)
+		}
+		if res.Unresolved == 0 {
+			t.Fatalf("exhausted pairs not dropped unresolved: %s", res)
+		}
+		// Each dropped pair burned exactly RetryLimit requeues first.
+		if res.WorkerPanics != res.Unresolved+res.Requeued {
+			t.Fatalf("panic accounting out of balance: %s", res)
+		}
+		if res.Retried != res.Requeued {
+			t.Fatalf("requeued pairs not all re-claimed: %s", res)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("parallel sweep livelocked on an always-panicking engine")
 	}
 }
 

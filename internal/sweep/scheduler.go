@@ -3,9 +3,11 @@ package sweep
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"time"
 
+	"simgen/internal/chaos"
 	"simgen/internal/network"
 	"simgen/internal/obs"
 	"simgen/internal/prover"
@@ -19,9 +21,12 @@ import (
 // smallest node id, stable across refinement), so roots are deterministic
 // regardless of worker count.
 //
-// It is not goroutine-safe; the scheduler serializes access under its
-// partition mutex during a run.
+// It is goroutine-safe: find compresses paths (a write) and is reachable
+// concurrently both during a run and afterwards through Sweeper.Rep, so
+// the structure carries its own mutex rather than leaning on the
+// scheduler's partition lock.
 type unionFind struct {
+	mu     sync.Mutex
 	parent []int32 // parent[i] < 0 means i is a root
 }
 
@@ -37,6 +42,12 @@ func newUnionFind(n int) *unionFind {
 // merge chains cost amortized O(1) on later lookups instead of a walk per
 // query.
 func (u *unionFind) find(x network.NodeID) network.NodeID {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.findLocked(x)
+}
+
+func (u *unionFind) findLocked(x network.NodeID) network.NodeID {
 	root := x
 	for u.parent[root] >= 0 {
 		root = network.NodeID(u.parent[root])
@@ -51,8 +62,10 @@ func (u *unionFind) find(x network.NodeID) network.NodeID {
 
 // union merges m's set into rep's.
 func (u *unionFind) union(rep, m network.NodeID) {
-	r := u.find(rep)
-	if mr := u.find(m); mr != r {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	r := u.findLocked(rep)
+	if mr := u.findLocked(m); mr != r {
 		u.parent[mr] = int32(r)
 	}
 }
@@ -86,12 +99,18 @@ type scheduler struct {
 	// this scheduler share it. Never nil (obs.Nop by default).
 	tr obs.Tracer
 
+	// inj is the chaos injector consulted at every scheduling decision
+	// point; nil outside perturbed parallel runs (the common case).
+	inj chaos.Injector
+
 	uf   *unionFind
 	pool *cexPool
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signaled whenever claims release or work may appear
 	res     Result
 	claimed map[network.NodeID]bool // class reps with an obligation in flight
+	retries map[pair]int            // requeue counts per degraded pair
 
 	// snap is the current NonSingleton snapshot being drained, with a
 	// shared cursor; progress tells refreshes apart from exhausted passes.
@@ -115,7 +134,7 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 			return e
 		}
 	}
-	return &scheduler{
+	s := &scheduler{
 		net:     net,
 		classes: classes,
 		opts:    opts,
@@ -126,14 +145,30 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 		uf:      newUnionFind(net.NumNodes()),
 		pool:    newCexPool(net, classes, simulator),
 		claimed: make(map[network.NodeID]bool),
+		retries: make(map[pair]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// retryLimit resolves Options.RetryLimit: 0 means the default, negative
+// disables requeueing.
+func (s *scheduler) retryLimit() int {
+	switch {
+	case s.opts.RetryLimit < 0:
+		return 0
+	case s.opts.RetryLimit == 0:
+		return DefaultRetryLimit
+	default:
+		return s.opts.RetryLimit
 	}
 }
 
 // run drains every obligation with the given worker count and returns the
 // accumulated result. Sequential runs (workers <= 1) execute on the
-// primary engine without panic isolation — injected faults must propagate
-// to the caller there, while parallel workers convert recovered panics to
-// unresolved verdicts.
+// primary engine without panic isolation or chaos injection — injected
+// faults must propagate to the caller there, while parallel workers
+// convert recovered panics to requeues or unresolved verdicts.
 func (s *scheduler) run(ctx context.Context, workers int) Result {
 	s.res = Result{}
 	s.snap = nil
@@ -147,6 +182,15 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 		}()
 	} else {
 		s.tr.Emit(obs.Event{Kind: obs.KindSweepStart, Workers: int32(workers)})
+		s.inj = s.opts.Chaos
+		// Cancellation must reach workers parked on the idle condition
+		// variable, not only those inside engine calls.
+		stopWake := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stopWake()
 		// Warm the shared caches that are lazily built and not
 		// goroutine-safe: covers (row tables / CNF cubes) and
 		// fanout/level data.
@@ -159,6 +203,9 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 			eng := s.primary
 			if i > 0 {
 				eng = s.factory()
+			}
+			if s.inj != nil {
+				eng = prover.WithChaos(eng, s.inj, s.tr)
 			}
 			wg.Add(1)
 			go func(eng prover.Engine, wid int32) {
@@ -183,7 +230,7 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 // verdict into the shared state, repeat until the queue runs dry.
 func (s *scheduler) work(ctx context.Context, eng prover.Engine, wid int32, isolate bool) {
 	for ctx.Err() == nil {
-		ob, ok := s.next(wid)
+		ob, ok := s.next(ctx, wid)
 		if !ok {
 			return
 		}
@@ -192,8 +239,9 @@ func (s *scheduler) work(ctx context.Context, eng prover.Engine, wid int32, isol
 }
 
 // process proves one obligation. With isolate set, an engine panic is
-// recovered and converted to an unresolved verdict so one poisoned worker
-// cannot take down a parallel sweep.
+// recovered and the obligation requeued for a bounded number of retries
+// before it is dropped as unresolved, so one poisoned worker cannot take
+// down a parallel sweep.
 func (s *scheduler) process(ctx context.Context, eng prover.Engine, wid int32, ob obligation, isolate bool) {
 	defer s.release(ob.rep)
 	if isolate {
@@ -201,15 +249,21 @@ func (s *scheduler) process(ctx context.Context, eng prover.Engine, wid int32, o
 			if r := recover(); r != nil {
 				s.mu.Lock()
 				s.res.WorkerPanics++
-				s.res.Unresolved++
-				s.classes.Remove(ob.m)
+				n, requeued := s.tryRequeue(ob)
+				if !requeued {
+					s.res.Unresolved++
+					s.classes.Remove(ob.m)
+				}
 				s.mu.Unlock()
 				s.tr.Emit(obs.Event{Kind: obs.KindWorkerPanic, Worker: wid,
-					Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m)})
+					Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
+					Retries: int32(n)})
 			}
 		}()
 	}
+	s.perturb(chaos.PointClaim, wid, int32(ob.rep), int32(ob.m))
 	pr := eng.Prove(ctx, ob.rep, ob.m, s.budget)
+	s.perturb(chaos.PointResolve, wid, int32(ob.rep), int32(ob.m))
 	if s.apply(ctx, wid, ob, pr) {
 		eng.Learn(ob.rep, ob.m)
 	}
@@ -217,17 +271,27 @@ func (s *scheduler) process(ctx context.Context, eng prover.Engine, wid int32, o
 
 // next claims the next obligation under the partition lock. It drains a
 // NonSingleton snapshot with a shared cursor; when the snapshot runs dry
-// it is refreshed (splits create classes a stale snapshot cannot see), and
-// the queue is empty only when a full fresh pass yields nothing claimable
-// and no counterexamples are pending.
-func (s *scheduler) next(wid int32) (obligation, bool) {
+// it is refreshed (splits create classes a stale snapshot cannot see).
+//
+// Termination is decided against fresh state, never a drained snapshot:
+// the queue is empty only when a fresh scan finds nothing claimable, no
+// counterexamples are pending, and no obligation is in flight. In-flight
+// obligations can mint new work — an Equal verdict leaves its class
+// non-singleton, a Differ refills the pool — so as long as any claim is
+// held, idle workers park on the condition variable instead of exiting
+// (the stale-snapshot exit was the PR 4 missed-merge race; see
+// Options.UnsafeStaleExit and DESIGN.md 3.11).
+func (s *scheduler) next(ctx context.Context, wid int32) (obligation, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.opts.MaxPairs > 0 && s.res.SATCalls >= s.opts.MaxPairs {
-		s.res.Incomplete = true
-		return obligation{}, false
-	}
 	for {
+		if ctx.Err() != nil {
+			return obligation{}, false
+		}
+		if s.opts.MaxPairs > 0 && s.res.SATCalls >= s.opts.MaxPairs {
+			s.res.Incomplete = true
+			return obligation{}, false
+		}
 		if s.snap == nil {
 			s.snap = s.classes.NonSingleton()
 			s.snapPos = 0
@@ -245,39 +309,105 @@ func (s *scheduler) next(wid int32) (obligation, bool) {
 				s.snapPos++
 				continue
 			}
-			if s.pool.touches(rep, members[1]) {
+			m := members[1]
+			if s.pool.touches(rep, m) {
 				// Membership is stale under pending counterexamples:
 				// refine first, then re-read this class.
+				s.perturbLocked(chaos.PointFlush, wid, int32(rep), int32(m))
 				s.flushPool(&s.res)
 				continue
 			}
 			s.claimed[rep] = true
 			s.progress = true
 			s.res.Scheduled++
+			retries := int32(s.retries[pair{rep, m}])
+			if retries > 0 {
+				s.res.Retried++
+			}
 			s.tr.Emit(obs.Event{Kind: obs.KindObligation, Worker: wid,
-				Class: int32(ci), A: int32(rep), B: int32(members[1]),
-				Pending: int32(len(s.snap) - s.snapPos)})
+				Class: int32(ci), A: int32(rep), B: int32(m),
+				Pending: int32(len(s.snap) - s.snapPos), Retries: retries})
 			// The cursor stays on ci: a sequential worker returns straight
 			// to the same class until it is settled.
-			return obligation{ci: ci, rep: rep, m: members[1]}, true
+			return obligation{ci: ci, rep: rep, m: m}, true
 		}
 		if !s.progress {
-			if s.pool.empty() {
+			switch {
+			case !s.pool.empty():
+				// Pending counterexamples may split classes back above the
+				// singleton threshold; flush and rescan.
+				s.flushPool(&s.res)
+			case s.opts.UnsafeStaleExit:
+				// Test-only: the pre-fix protocol exited here, trusting a
+				// snapshot other workers may have drained and reset while
+				// this worker's last merge was still in flight.
+				return obligation{}, false
+			case s.claimable():
+				// The drained snapshot went stale while other workers
+				// mutated the partition; rescan fresh instead of exiting.
+			case len(s.claimed) > 0:
+				// In-flight obligations can still mint work; sleep until a
+				// claim is released rather than spin or exit early.
+				s.wait(wid)
+			default:
 				return obligation{}, false
 			}
-			// Pending counterexamples may split classes back above the
-			// singleton threshold; flush and rescan.
-			s.flushPool(&s.res)
 		}
 		s.snap = nil
 	}
 }
 
-// release returns a claimed representative to the queue.
+// claimable reports whether a fresh partition scan holds any unclaimed
+// obligation; the caller holds mu and has drained the pool.
+func (s *scheduler) claimable() bool {
+	for _, ci := range s.classes.NonSingleton() {
+		members := s.classes.Members(ci)
+		if len(members) >= 2 && !s.claimed[members[0]] {
+			return true
+		}
+	}
+	return false
+}
+
+// wait parks an idle worker until shared state changes; the caller holds
+// mu. A chaos injector may convert the sleep into a spurious wakeup.
+func (s *scheduler) wait(wid int32) {
+	if s.inj != nil {
+		switch act := s.inj.At(chaos.PointWait, -1, -1); act {
+		case chaos.ActWake, chaos.ActYield:
+			// Spurious wakeup: wake every parked worker, skip our own
+			// sleep once, and rescan.
+			s.cond.Broadcast()
+			s.emitPerturb(chaos.PointWait, act, wid, -1, -1)
+			return
+		}
+	}
+	s.cond.Wait()
+}
+
+// release returns a claimed representative to the queue and wakes idle
+// workers: a released claim is exactly the state change a parked worker is
+// waiting to rescan.
 func (s *scheduler) release(rep network.NodeID) {
 	s.mu.Lock()
 	delete(s.claimed, rep)
+	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// tryRequeue returns ob's pair to the queue after a recoverable failure
+// when its retry budget allows, reporting the pair's new retry count; the
+// caller holds mu. The pair stays in its class, so the next fresh scan
+// reissues the obligation.
+func (s *scheduler) tryRequeue(ob obligation) (retries int, ok bool) {
+	limit := s.retryLimit()
+	pr := pair{ob.rep, ob.m}
+	if limit <= 0 || s.retries[pr] >= limit {
+		return 0, false
+	}
+	s.retries[pr]++
+	s.res.Requeued++
+	return s.retries[pr], true
 }
 
 // apply folds one prover outcome into the shared state; it reports whether
@@ -294,11 +424,22 @@ func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prov
 	s.res.BDDBlowups += st.BDDBlowups
 	s.res.Conflicts += st.Conflicts
 	s.res.Propagations += st.Propagations
+	if pr.Verdict == prover.Unknown && pr.Transient && ctx.Err() == nil {
+		// A transient (injected) engine failure is not budget exhaustion:
+		// requeue the pair for another attempt instead of resolving it.
+		if n, ok := s.tryRequeue(ob); ok {
+			s.tr.Emit(obs.Event{Kind: obs.KindRequeue, Worker: wid,
+				Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
+				Retries: int32(n)})
+			return false
+		}
+	}
 	s.tr.Emit(obs.Event{Kind: obs.KindResolve, Worker: wid,
 		Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
 		Verdict: int8(pr.Verdict), Dur: st.Time})
 	switch pr.Verdict {
 	case prover.Equal:
+		s.perturbLocked(chaos.PointMerge, wid, int32(ob.rep), int32(ob.m))
 		// Guard against the pair having been split meanwhile — impossible
 		// for a sound engine (a split needs a separating vector), but an
 		// unsound verdict (injected faults) must not corrupt the partition
@@ -333,7 +474,8 @@ func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prov
 
 // flushPool drains the counterexample pool into the partition; the caller
 // holds mu. Pairs a flush failed to separate (defective counterexamples)
-// are dropped from their classes by the pool and accounted as unresolved.
+// are dropped from their classes by the pool and accounted both as
+// unresolved and under the distinct PoolDropped counter.
 func (s *scheduler) flushPool(res *Result) {
 	if s.pool.empty() {
 		return
@@ -343,6 +485,7 @@ func (s *scheduler) flushPool(res *Result) {
 	start := time.Now()
 	dropped := s.pool.flush()
 	res.Unresolved += len(dropped)
+	res.PoolDropped += len(dropped)
 	res.PoolFlushes++
 	res.PoolLanes += lanes
 	s.tr.Emit(obs.Event{Kind: obs.KindPoolFlush,
@@ -350,6 +493,68 @@ func (s *scheduler) flushPool(res *Result) {
 		Splits:  int32(s.classes.NumClasses() - before),
 		Dropped: int32(len(dropped)),
 		Dur:     time.Since(start)})
+	// A flush reshapes the partition; parked workers must rescan.
+	s.cond.Broadcast()
+}
+
+// perturb consults the chaos injector at an unlocked decision point and
+// applies schedule-shaping actions; fault actions belong to the engine
+// boundary and are ignored here.
+func (s *scheduler) perturb(p chaos.Point, wid, a, b int32) {
+	if s.inj == nil {
+		return
+	}
+	act := s.inj.At(p, a, b)
+	switch act {
+	case chaos.ActYield:
+		runtime.Gosched()
+	case chaos.ActDelay:
+		for i := 0; i < schedDelaySpins; i++ {
+			runtime.Gosched()
+		}
+	case chaos.ActFlush:
+		s.mu.Lock()
+		s.flushPool(&s.res)
+		s.mu.Unlock()
+	case chaos.ActWake:
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	default:
+		return
+	}
+	s.emitPerturb(p, act, wid, a, b)
+}
+
+// perturbLocked is perturb for decision points reached with mu held.
+func (s *scheduler) perturbLocked(p chaos.Point, wid, a, b int32) {
+	if s.inj == nil {
+		return
+	}
+	act := s.inj.At(p, a, b)
+	switch act {
+	case chaos.ActYield:
+		runtime.Gosched()
+	case chaos.ActDelay:
+		for i := 0; i < schedDelaySpins; i++ {
+			runtime.Gosched()
+		}
+	case chaos.ActFlush:
+		s.flushPool(&s.res)
+	case chaos.ActWake:
+		s.cond.Broadcast()
+	default:
+		return
+	}
+	s.emitPerturb(p, act, wid, a, b)
+}
+
+// schedDelaySpins is the cooperative-yield count of an injected delay.
+const schedDelaySpins = 32
+
+func (s *scheduler) emitPerturb(p chaos.Point, act chaos.Action, wid, a, b int32) {
+	s.tr.Emit(obs.Event{Kind: obs.KindPerturb, Worker: wid,
+		Point: p.String(), Act: act.String(), A: a, B: b})
 }
 
 // finish stamps the final accounting shared by all run modes; the caller

@@ -35,11 +35,17 @@ import (
 	"strings"
 	"time"
 
+	"simgen/internal/chaos"
 	"simgen/internal/network"
 	"simgen/internal/obs"
 	"simgen/internal/prover"
 	"simgen/internal/sim"
 )
+
+// DefaultRetryLimit is the number of times a degraded obligation (worker
+// panic or injected transient engine failure) is requeued before the pair
+// is dropped as unresolved; Options.RetryLimit overrides it.
+const DefaultRetryLimit = 2
 
 // Fault is a test-only injected failure, returned by Options.FaultHook to
 // exercise the sweeping degradation paths deterministically. It aliases
@@ -125,6 +131,28 @@ type Options struct {
 	// inject a failure for that pair. Testing only.
 	FaultHook func(a, b network.NodeID) Fault
 
+	// Chaos, when set, perturbs parallel sweeps: the injector is consulted
+	// at every scheduler decision point (claim, flush, merge, resolve,
+	// engine verdict, idle wait) and may inject delays, forced pool
+	// flushes, spurious wakeups, or — with a fault profile — transient
+	// engine failures, slow timeouts, and worker panics. Sequential runs
+	// ignore it so golden traces and panic-propagation semantics are
+	// untouched. Testing only; see internal/chaos.
+	Chaos chaos.Injector
+
+	// RetryLimit bounds how many times one pair is requeued after a worker
+	// panic or a transient engine failure before being dropped as
+	// unresolved. 0 means DefaultRetryLimit; negative disables requeueing
+	// (the pre-retry behavior: first panic drops the pair).
+	RetryLimit int
+
+	// UnsafeStaleExit restores the pre-fix scheduler termination protocol
+	// that trusted a drained snapshot and could exit with unclaimed pairs
+	// left (the PR 4 missed-merge race). It exists only so the
+	// interleaving-sweep fuzz test can prove it would catch the bug;
+	// never set it otherwise.
+	UnsafeStaleExit bool
+
 	// Tracer receives the sweep's observability events (obligations,
 	// verdicts, escalations, pool flushes); nil means obs.Nop, which
 	// keeps the hot path allocation-free. Tracers must be goroutine-safe
@@ -170,9 +198,12 @@ type Result struct {
 	SimChecks    int   // pairs settled by exhaustive simulation
 	Conflicts    int64 // SAT conflicts spent across all calls
 	Propagations int64 // SAT unit propagations spent across all calls
-	WorkerPanics int   // worker panics converted to unresolved verdicts
+	WorkerPanics int   // recovered worker panics (requeued or unresolved)
+	Requeued     int   // obligations returned to the queue after a panic or transient failure
+	Retried      int   // requeued obligations claimed again
 	PoolFlushes  int   // batched counterexample refinements performed
 	PoolLanes    int   // total vector lanes simulated across pool flushes
+	PoolDropped  int   // pairs dropped by flushes whose counterexample failed to split
 	Incomplete   bool  // a deadline, cancel, or MaxPairs stopped the sweep early
 	TimedOut     bool  // the early stop was a context deadline
 }
@@ -193,8 +224,14 @@ func (r Result) String() string {
 	if r.WorkerPanics > 0 {
 		fmt.Fprintf(&b, " panics=%d", r.WorkerPanics)
 	}
+	if r.Requeued > 0 {
+		fmt.Fprintf(&b, " requeued=%d retried=%d", r.Requeued, r.Retried)
+	}
 	if r.PoolFlushes > 0 {
 		fmt.Fprintf(&b, " poolflushes=%d poollanes=%d", r.PoolFlushes, r.PoolLanes)
+	}
+	if r.PoolDropped > 0 {
+		fmt.Fprintf(&b, " pooldropped=%d", r.PoolDropped)
 	}
 	if r.TimedOut {
 		b.WriteString(" (timed out)")
@@ -286,9 +323,11 @@ func (s *Sweeper) RunParallel(workers int) Result {
 // RunParallelContext is RunParallel under a context. Cancellation
 // interrupts every worker's engine; the partial result carries
 // Incomplete/TimedOut. Workers are crash-isolated: a panic while checking
-// a pair is recovered and converted into an unresolved verdict for that
-// pair (counted in Result.WorkerPanics), the claim on its class is always
-// released, and the remaining workers keep sweeping.
+// a pair is recovered (counted in Result.WorkerPanics), the claim on its
+// class is always released, and the remaining workers keep sweeping. The
+// panicked pair is requeued for up to Options.RetryLimit attempts before
+// being dropped as unresolved (Result.Requeued/Retried account the
+// degradation).
 func (s *Sweeper) RunParallelContext(ctx context.Context, workers int) Result {
 	if workers <= 1 {
 		return s.RunContext(ctx)

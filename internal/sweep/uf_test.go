@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"sync"
 	"testing"
 
 	"simgen/internal/core"
@@ -42,6 +43,48 @@ func TestUnionFindFindIsIdentityWithoutMerges(t *testing.T) {
 	for i := network.NodeID(0); i < 16; i++ {
 		if got := u.find(i); got != i {
 			t.Fatalf("find(%d) = %d, want identity", i, got)
+		}
+	}
+}
+
+// TestUnionFindConcurrentMerges hammers one union-find from many
+// goroutines merging overlapping chains — the access pattern of parallel
+// sweep workers recording proven equivalences while other goroutines (and
+// post-run Rep callers) run finds. Under -race this doubles as a proof
+// that the structure's internal locking covers path compression's writes.
+func TestUnionFindConcurrentMerges(t *testing.T) {
+	const (
+		n      = 1 << 10
+		chains = 8 // goroutines; chain g merges {g, g+chains, g+2*chains, ...}
+	)
+	u := newUnionFind(n)
+	var wg sync.WaitGroup
+	for g := 0; g < chains; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine links its own arithmetic chain, interleaving
+			// finds with the unions, then ties the chain to node 0 so every
+			// class collapses into one despite the overlapping merges.
+			for x := g + chains; x < n; x += chains {
+				u.union(network.NodeID(g), network.NodeID(x))
+				if x%(3*chains) == 0 {
+					u.find(network.NodeID(x))
+				}
+			}
+			u.union(0, network.NodeID(g))
+		}(g)
+	}
+	wg.Wait()
+
+	// Exactly one canonical representative must remain, and a second pass
+	// over fully compressed paths must agree with the first.
+	root := u.find(0)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			if got := u.find(network.NodeID(i)); got != root {
+				t.Fatalf("pass %d: node %d has rep %d, want %d", pass, i, got, root)
+			}
 		}
 	}
 }
