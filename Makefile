@@ -101,28 +101,45 @@ bench-full:
 	$(GO) test -bench=. -benchmem
 
 # Simulation-core micro-benchmarks: the arena kernel, incremental
-# resimulation, bucketed refinement, vector packing, and the sweeping
-# counterexample pool. BENCHCOUNT repetitions give the gate stable medians.
+# resimulation, bucketed refinement, vector packing, the sweeping
+# counterexample pool, and end-to-end service throughput. BENCHCOUNT
+# repetitions give the gate stable medians.
 BENCHCOUNT ?= 5
-BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler|BenchmarkTracerOverhead
+BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler|BenchmarkTracerOverhead|BenchmarkSweepdThroughput
+BENCHDIRS ?= ./internal/sim ./internal/sweep ./internal/sweepd
 .PHONY: bench
 bench:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
-		./internal/sim ./internal/sweep
+		$(BENCHDIRS)
 
 # Regression gate: re-run the micro-benchmarks and fail when any median
 # time/op regressed >20% against the committed baseline.
 .PHONY: bench-gate
 bench-gate:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
-		./internal/sim ./internal/sweep | tee /tmp/bench_new.txt
+		$(BENCHDIRS) | tee /tmp/bench_new.txt
 	$(GO) run ./cmd/benchgate -base results/bench_baseline.txt -new /tmp/bench_new.txt
 
 # Refresh the committed baseline (run on the reference machine only).
 .PHONY: bench-baseline
 bench-baseline:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
-		./internal/sim ./internal/sweep | tee results/bench_baseline.txt
+		$(BENCHDIRS) | tee results/bench_baseline.txt
+
+# Service load soak: a self-hosted sweepd driven by the seeded load
+# generator. LOAD_JOBS/LOAD_RATE scale the soak; the CI smoke uses the
+# smaller load-smoke target. Fails on any transport/protocol error.
+LOAD_JOBS ?= 200
+LOAD_RATE ?= 100
+.PHONY: load
+load:
+	$(GO) run ./cmd/loadgen -launch -n $(LOAD_JOBS) -c 8 -rate $(LOAD_RATE) -job-timeout 10s \
+		-require-all-done -slo-admission-p99 1s
+
+.PHONY: load-smoke
+load-smoke:
+	$(GO) run ./cmd/loadgen -launch -n 25 -c 4 -rate 50 -job-timeout 10s \
+		-require-all-done -slo-admission-p99 500ms
 
 .PHONY: experiments
 experiments:

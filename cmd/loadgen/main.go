@@ -1,0 +1,115 @@
+// Command loadgen drives a sweepd service with a seeded, reproducible job
+// mix and reports admission/completion latency percentiles and outcome
+// counts. Point it at a running service with -url, or pass -launch to
+// self-host a throwaway in-process service (useful for soak runs and CI
+// smoke tests without extra process management).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"simgen/internal/fuzz"
+	"simgen/internal/sweepd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url     = flag.String("url", "", "sweepd base URL (e.g. http://localhost:8344); empty requires -launch")
+		launch  = flag.Bool("launch", false, "self-host an in-process sweepd on a free port for the run")
+		jobs    = flag.Int("n", 50, "total jobs to submit")
+		conc    = flag.Int("c", 4, "submitter goroutines")
+		rate    = flag.Float64("rate", 0, "aggregate arrival rate in jobs/sec (0 = unpaced)")
+		seed    = flag.Int64("seed", 1, "circuit mix seed")
+		mix     = flag.String("mix", "", "comma-separated fuzz shapes (default: all presets: "+strings.Join(fuzz.ShapeNames(), ",")+")")
+		jobW    = flag.Int("job-workers", 1, "sweep workers inside each job")
+		timeout = flag.Duration("job-timeout", 10*time.Second, "per-job budget")
+		trace   = flag.Bool("trace", false, "request a JSONL trace per job")
+		srvW    = flag.Int("server-workers", 4, "pool size of the self-hosted service (-launch)")
+		srvQ    = flag.Int("server-queue", 64, "queue depth of the self-hosted service (-launch)")
+		asJSON  = flag.Bool("json", false, "emit stats as JSON")
+		sloP99  = flag.Duration("slo-admission-p99", 0, "fail when admission p99 exceeds this (0 disables)")
+		allDone = flag.Bool("require-all-done", false, "fail unless every submitted job was accepted and completed")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+
+	base := *url
+	if *launch {
+		if base != "" {
+			return fmt.Errorf("-url and -launch are mutually exclusive")
+		}
+		srv := sweepd.New(sweepd.Config{Workers: *srvW, QueueDepth: *srvQ, StoreCap: *jobs + 16})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln) //nolint:errcheck
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: self-hosted sweepd on %s (workers=%d queue=%d)\n", base, *srvW, *srvQ)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Drain(ctx) //nolint:errcheck
+			hs.Close()
+		}()
+	}
+	if base == "" {
+		return fmt.Errorf("need -url or -launch")
+	}
+
+	profile := sweepd.LoadProfile{
+		Jobs:        *jobs,
+		Concurrency: *conc,
+		Rate:        *rate,
+		Seed:        *seed,
+		Workers:     *jobW,
+		TimeoutMS:   timeout.Milliseconds(),
+		Trace:       *trace,
+	}
+	if *mix != "" {
+		profile.Mix = strings.Split(*mix, ",")
+	}
+
+	stats, err := sweepd.RunLoad(context.Background(), nil, base, profile)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(stats)
+	}
+	if stats.Errors > 0 {
+		return fmt.Errorf("%d transport/protocol errors", stats.Errors)
+	}
+	if *allDone && stats.Done != *jobs {
+		return fmt.Errorf("dropped jobs: %d of %d done (%d rejected, %d unavailable)",
+			stats.Done, *jobs, stats.Rejected, stats.Unavailable)
+	}
+	if *sloP99 > 0 && stats.Admission.P99 > *sloP99 {
+		return fmt.Errorf("admission p99 %v exceeds SLO %v", stats.Admission.P99, *sloP99)
+	}
+	return nil
+}

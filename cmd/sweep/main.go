@@ -252,6 +252,7 @@ func runCEC(ctx context.Context, pathA, pathB string, cfg config) (int, error) {
 	res, err := simgen.CECContext(ctx, a, b, simgen.CECOptions{
 		Seed:             cfg.seed,
 		GuidedIterations: cfg.iterations,
+		Method:           cfg.method,
 		Workers:          cfg.workers,
 		Sweep:            cfg.sweepOptions(),
 	})

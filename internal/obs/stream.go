@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// Stream is an in-memory JSONL trace sink for resident services: events are
+// rendered through the same byte-stable JSONL encoder the -trace flag uses,
+// but accumulate in a growable buffer that concurrent readers can follow
+// while the producing run is still in flight — the substrate of sweepd's
+// per-job trace-streaming endpoint.
+//
+// The producer side is a Tracer (Emit) plus Close, which marks end-of-stream
+// and releases every blocked follower. The consumer side is offset-based:
+// Next blocks until bytes beyond the given offset exist, the stream closes,
+// or the caller's context is done, so any number of followers can tail one
+// job's trace independently and at their own pace.
+//
+// In Deterministic mode the underlying JSONL encoder suppresses wall-clock
+// fields, so a workers=1 run streamed through a Stream is byte-identical to
+// the same run traced straight to a file — the property the sweepd e2e
+// parity suite pins.
+type Stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+	jsonl  *JSONL
+}
+
+// NewStream creates an open stream; deterministic selects the byte-stable
+// JSONL mode (no t_ns/dur_ns fields).
+func NewStream(deterministic bool) *Stream {
+	s := &Stream{}
+	s.cond = sync.NewCond(&s.mu)
+	s.jsonl = NewJSONL(streamWriter{s})
+	s.jsonl.Deterministic = deterministic
+	return s
+}
+
+// streamWriter adapts the stream's buffer to the io.Writer the JSONL
+// encoder renders into. Writes after Close are dropped: a late event from a
+// stage that outlives its job must not resurrect a finished stream.
+type streamWriter struct{ s *Stream }
+
+func (w streamWriter) Write(p []byte) (int, error) {
+	s := w.s
+	s.mu.Lock()
+	if !s.closed {
+		s.buf = append(s.buf, p...)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	return len(p), nil
+}
+
+// Emit implements Tracer. It is goroutine-safe (the JSONL encoder
+// serializes emissions) and never blocks on readers.
+func (s *Stream) Emit(ev Event) { s.jsonl.Emit(ev) }
+
+// Close marks end-of-stream and wakes every blocked follower. Events
+// emitted after Close are discarded. Close is idempotent.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Closed reports whether the stream has ended.
+func (s *Stream) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Len returns the number of bytes buffered so far.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Bytes returns a copy of everything buffered so far.
+func (s *Stream) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf...)
+}
+
+// Next returns the bytes beyond offset off, blocking while the stream is
+// open and has nothing new. It returns the chunk (nil when none), the
+// offset to resume from, and whether the stream may still produce more:
+// more is false once the stream is closed and fully drained, or when ctx
+// ended the wait. Offsets beyond the buffer are clamped.
+func (s *Stream) Next(ctx context.Context, off int) (chunk []byte, next int, more bool) {
+	// A context cancellation must reach a follower parked on the condition
+	// variable, not only one between calls.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off > len(s.buf) {
+		off = len(s.buf)
+	}
+	for off >= len(s.buf) && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if off < len(s.buf) {
+		chunk = append([]byte(nil), s.buf[off:]...)
+	}
+	next = off + len(chunk)
+	more = !s.closed && ctx.Err() == nil
+	if s.closed && next < len(s.buf) {
+		// Closed with a partial read (impossible today — chunks run to the
+		// end — but keep the contract honest if that changes).
+		more = true
+	}
+	return chunk, next, more
+}
+
+// WriteTo streams the buffer into w from offset 0 until the stream closes
+// or ctx is done, flushing after every chunk when w implements Flush (an
+// http.Flusher, for chunked responses). It returns the number of bytes
+// written and ctx.Err when the context cut the follow short.
+func (s *Stream) WriteTo(ctx context.Context, w interface{ Write([]byte) (int, error) }) (int64, error) {
+	type flusher interface{ Flush() }
+	var written int64
+	off := 0
+	for {
+		chunk, next, more := s.Next(ctx, off)
+		if len(chunk) > 0 {
+			n, err := w.Write(chunk)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+			if f, ok := w.(flusher); ok {
+				f.Flush()
+			}
+		}
+		off = next
+		if !more {
+			return written, ctx.Err()
+		}
+	}
+}

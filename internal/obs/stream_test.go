@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// streamEvents is a small representative event sequence.
+func streamEvents() []Event {
+	return []Event{
+		{Kind: KindSweepStart, Workers: 1},
+		{Kind: KindObligation, Class: 1, A: 2, B: 3, Pending: 4},
+		{Kind: KindResolve, Class: 1, A: 2, B: 3, Verdict: VerdictEqual, Dur: time.Millisecond},
+		{Kind: KindSweepDone, Cost: 7, Dur: time.Second},
+	}
+}
+
+// TestStreamMatchesJSONL: a deterministic Stream must produce exactly the
+// bytes a plain deterministic JSONL tracer writes for the same events —
+// the byte-identity the sweepd trace-parity suite builds on.
+func TestStreamMatchesJSONL(t *testing.T) {
+	var want bytes.Buffer
+	j := NewJSONL(&want)
+	j.Deterministic = true
+	s := NewStream(true)
+	for _, ev := range streamEvents() {
+		j.Emit(ev)
+		s.Emit(ev)
+	}
+	s.Close()
+	if got := s.Bytes(); !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("stream bytes differ from JSONL:\n got: %q\nwant: %q", got, want.Bytes())
+	}
+}
+
+// TestStreamFollow: a follower started before any event sees every chunk
+// and terminates when the stream closes.
+func TestStreamFollow(t *testing.T) {
+	s := NewStream(true)
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		off := 0
+		for {
+			chunk, next, more := s.Next(context.Background(), off)
+			got = append(got, chunk...)
+			off = next
+			if !more {
+				return
+			}
+		}
+	}()
+	for _, ev := range streamEvents() {
+		s.Emit(ev)
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not terminate after Close")
+	}
+	if !bytes.Equal(got, s.Bytes()) {
+		t.Errorf("follower read %d bytes, stream holds %d", len(got), s.Len())
+	}
+	if n := bytes.Count(got, []byte{'\n'}); n != len(streamEvents()) {
+		t.Errorf("follower saw %d lines, want %d", n, len(streamEvents()))
+	}
+}
+
+// TestStreamNextContextCancel: a blocked Next must return promptly when the
+// caller's context is cancelled, reporting no more data.
+func TestStreamNextContextCancel(t *testing.T) {
+	s := NewStream(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	returned := make(chan bool, 1)
+	go func() {
+		_, _, more := s.Next(ctx, 0)
+		returned <- more
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case more := <-returned:
+		if more {
+			t.Error("Next after context cancel should report more=false")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not unblock on context cancellation")
+	}
+}
+
+// TestStreamEmitAfterCloseDropped: late events must not grow a finished
+// stream.
+func TestStreamEmitAfterCloseDropped(t *testing.T) {
+	s := NewStream(true)
+	s.Emit(Event{Kind: KindSweepStart, Workers: 1})
+	n := s.Len()
+	s.Close()
+	s.Emit(Event{Kind: KindSweepDone, Cost: 1})
+	if s.Len() != n {
+		t.Errorf("stream grew after Close: %d -> %d bytes", n, s.Len())
+	}
+	if !s.Closed() {
+		t.Error("Closed() should report true")
+	}
+}
+
+// TestStreamConcurrentEmitAndFollow races many producers against many
+// followers; every follower must observe the same final byte sequence.
+func TestStreamConcurrentEmitAndFollow(t *testing.T) {
+	s := NewStream(false)
+	const producers, events, followers = 4, 50, 3
+	results := make([][]byte, followers)
+	var fwg sync.WaitGroup
+	for f := 0; f < followers; f++ {
+		fwg.Add(1)
+		go func(f int) {
+			defer fwg.Done()
+			off := 0
+			for {
+				chunk, next, more := s.Next(context.Background(), off)
+				results[f] = append(results[f], chunk...)
+				off = next
+				if !more {
+					return
+				}
+			}
+		}(f)
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < events; i++ {
+				s.Emit(Event{Kind: KindObligation, Worker: int32(p), A: int32(i), B: int32(i + 1), Class: 1, Pending: 1})
+			}
+		}(p)
+	}
+	pwg.Wait()
+	s.Close()
+	fwg.Wait()
+	want := s.Bytes()
+	if n := bytes.Count(want, []byte{'\n'}); n != producers*events {
+		t.Fatalf("stream holds %d lines, want %d", n, producers*events)
+	}
+	for f, got := range results {
+		if !bytes.Equal(got, want) {
+			t.Errorf("follower %d read %d bytes, want %d", f, len(got), len(want))
+		}
+	}
+}
+
+// TestStreamWriteTo drains an already-closed stream in one call.
+func TestStreamWriteTo(t *testing.T) {
+	s := NewStream(true)
+	for _, ev := range streamEvents() {
+		s.Emit(ev)
+	}
+	s.Close()
+	var out bytes.Buffer
+	n, err := s.WriteTo(context.Background(), &out)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if int(n) != s.Len() || !bytes.Equal(out.Bytes(), s.Bytes()) {
+		t.Errorf("WriteTo copied %d bytes, want %d", n, s.Len())
+	}
+}

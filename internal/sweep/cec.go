@@ -104,8 +104,13 @@ type CECOptions struct {
 	// RandomRounds is the number of 64-vector random simulation rounds
 	// seeding the classes.
 	RandomRounds int
-	// GuidedIterations runs SimGen refinement before sweeping when > 0.
+	// GuidedIterations runs guided refinement before sweeping when > 0.
 	GuidedIterations int
+	// Method selects the guided vector source: "simgen" (the default),
+	// "revs" (reverse simulation), or "none" (skip guided refinement even
+	// when GuidedIterations is set). Job-scoped callers (cmd/sweep -method,
+	// sweepd CEC jobs) plumb their per-run choice through here.
+	Method string
 	// Seed drives all randomized steps.
 	Seed int64
 	// Workers sweeps with this many parallel workers when > 1.
@@ -135,8 +140,19 @@ func CECContext(ctx context.Context, a, b *network.Network, opts CECOptions) (CE
 	runner := core.NewRunner(m, opts.RandomRounds, opts.Seed)
 	runner.SetTracer(opts.Sweep.Tracer)
 	if opts.GuidedIterations > 0 {
-		gen := core.NewGenerator(m, core.StrategySimGen, opts.Seed+1)
-		runner.RunContext(ctx, gen, opts.GuidedIterations)
+		var src core.VectorSource
+		switch opts.Method {
+		case "", "simgen":
+			src = core.NewGenerator(m, core.StrategySimGen, opts.Seed+1)
+		case "revs":
+			src = core.NewReverse(m, opts.Seed+1)
+		case "none":
+		default:
+			return CECResult{}, fmt.Errorf("sweep: unknown CEC method %q (want simgen|revs|none)", opts.Method)
+		}
+		if src != nil {
+			runner.RunContext(ctx, src, opts.GuidedIterations)
+		}
 	}
 
 	// The sweeper reuses the runner's compiled simulator for its

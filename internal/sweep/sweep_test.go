@@ -290,6 +290,25 @@ func TestCECWithGuidedSimulationFindsSameVerdict(t *testing.T) {
 	}
 }
 
+// TestCECMethodOption: every guided-source method must be selectable per
+// check (job-scoped plumbing for cmd/sweep -method and sweepd CEC jobs),
+// all must agree on the verdict, and an unknown method is an error.
+func TestCECMethodOption(t *testing.T) {
+	a, b := buildAdders(t)
+	for _, method := range []string{"", "simgen", "revs", "none"} {
+		res, err := CEC(a, b, CECOptions{Seed: 4, GuidedIterations: 5, Method: method})
+		if err != nil {
+			t.Fatalf("method %q: %v", method, err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("method %q: adders reported inequivalent", method)
+		}
+	}
+	if _, err := CEC(a, b, CECOptions{Seed: 4, GuidedIterations: 5, Method: "bogus"}); err == nil {
+		t.Fatal("unknown method should be rejected")
+	}
+}
+
 func TestRepPathCompression(t *testing.T) {
 	net, _, _ := buildRedundant()
 	runner := core.NewRunner(net, 2, 7)

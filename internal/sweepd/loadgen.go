@@ -1,0 +1,331 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"simgen/internal/blif"
+	"simgen/internal/fuzz"
+)
+
+// LoadProfile configures a load run against a sweepd endpoint. The circuit
+// mix is generated from Seed with the fuzz shapes in Mix, so a profile is
+// fully reproducible.
+type LoadProfile struct {
+	// Jobs is the total number of submissions.
+	Jobs int
+	// Concurrency is the number of submitter goroutines (default 4).
+	Concurrency int
+	// Rate is the target aggregate arrival rate in jobs/second; 0 submits
+	// as fast as the submitters can.
+	Rate float64
+	// Seed drives the circuit mix and per-job seeds (default 1).
+	Seed int64
+	// Mix names the fuzz shapes to draw circuits from (default: every
+	// preset).
+	Mix []string
+	// Workers is each job's sweep worker count (default 1).
+	Workers int
+	// TimeoutMS is each job's budget (0 = service default).
+	TimeoutMS int64
+	// Trace requests a JSONL trace per job.
+	Trace bool
+	// Wait is the long-poll interval used while waiting for completion
+	// (default 5s).
+	Wait time.Duration
+}
+
+// LatencySummary condenses a latency sample.
+type LatencySummary struct {
+	N                  int
+	P50, P95, P99, Max time.Duration
+}
+
+func summarize(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(ds)-1))
+		return ds[i]
+	}
+	return LatencySummary{
+		N:   len(ds),
+		P50: pick(0.50),
+		P95: pick(0.95),
+		P99: pick(0.99),
+		Max: ds[len(ds)-1],
+	}
+}
+
+// LoadStats is the outcome of a load run.
+type LoadStats struct {
+	Submitted   int
+	Accepted    int
+	Rejected    int // 429 queue-full
+	Unavailable int // 503 draining
+	Errors      int // transport or non-backpressure HTTP errors
+
+	Done, Failed, Canceled int
+
+	// Admission is the POST /jobs round-trip latency over every
+	// submission (accepted and rejected); Job is submit-to-terminal
+	// latency over accepted jobs.
+	Admission LatencySummary
+	Job       LatencySummary
+
+	Elapsed time.Duration
+}
+
+// String renders the stats for humans.
+func (st LoadStats) String() string {
+	return fmt.Sprintf(
+		"submitted=%d accepted=%d rejected=%d unavailable=%d errors=%d done=%d failed=%d canceled=%d elapsed=%v\n"+
+			"admission p50=%v p95=%v p99=%v max=%v (n=%d)\n"+
+			"job       p50=%v p95=%v p99=%v max=%v (n=%d)",
+		st.Submitted, st.Accepted, st.Rejected, st.Unavailable, st.Errors,
+		st.Done, st.Failed, st.Canceled, st.Elapsed,
+		st.Admission.P50, st.Admission.P95, st.Admission.P99, st.Admission.Max, st.Admission.N,
+		st.Job.P50, st.Job.P95, st.Job.P99, st.Job.Max, st.Job.N)
+}
+
+// loadSpecs pre-generates the full deterministic job list for a profile.
+func loadSpecs(p LoadProfile) ([]JobSpec, error) {
+	mix := p.Mix
+	if len(mix) == 0 {
+		mix = fuzz.ShapeNames()
+	}
+	shapes := make([]fuzz.Shape, len(mix))
+	all := fuzz.Shapes()
+	for i, name := range mix {
+		sh, ok := all[name]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown fuzz shape %q", name)
+		}
+		shapes[i] = sh
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]JobSpec, p.Jobs)
+	for i := range specs {
+		net := fuzz.Generate(rand.New(rand.NewSource(rng.Int63())), shapes[rng.Intn(len(shapes))])
+		var buf bytes.Buffer
+		if err := blif.Write(&buf, net); err != nil {
+			return nil, err
+		}
+		specs[i] = JobSpec{
+			Kind:      KindSweep,
+			Circuit:   CircuitRef{BLIF: buf.String()},
+			Seed:      rng.Int63n(1 << 30),
+			Workers:   p.Workers,
+			TimeoutMS: p.TimeoutMS,
+			Trace:     p.Trace,
+		}
+	}
+	return specs, nil
+}
+
+// RunLoad drives a sweepd endpoint with the profile: it submits Jobs
+// circuits at the target arrival rate from Concurrency submitters, then
+// long-polls every accepted job to a terminal state, and returns latency
+// and outcome statistics. client nil uses http.DefaultClient. The run
+// never retries a rejected submission — backpressure outcomes are data,
+// not failures.
+func RunLoad(ctx context.Context, client *http.Client, baseURL string, p LoadProfile) (LoadStats, error) {
+	specs, err := loadSpecs(p)
+	if err != nil {
+		return LoadStats{}, err
+	}
+	conc := p.Concurrency
+	if conc < 1 {
+		conc = 4
+	}
+	if client == nil {
+		// The default transport keeps only two idle connections per host;
+		// with dozens of submitters long-polling one service that means
+		// constant reconnection, and the connection churn — not the
+		// service — dominates every latency percentile. Give each
+		// submitter a reusable connection (plus one for the final poll
+		// overlap).
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 2*conc + 4
+		tr.MaxIdleConnsPerHost = 2*conc + 4
+		client = &http.Client{Transport: tr}
+	}
+	wait := p.Wait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	var interval time.Duration
+	if p.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / p.Rate)
+	}
+
+	var (
+		mu        sync.Mutex
+		st        LoadStats
+		admission []time.Duration
+		jobLat    []time.Duration
+	)
+	start := time.Now()
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range specs {
+			if interval > 0 {
+				// Absolute schedule, so pacing does not drift with
+				// submission latency.
+				if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				submitOne(ctx, client, baseURL, specs[i], wait, func(f func(*LoadStats, *[]time.Duration, *[]time.Duration)) {
+					mu.Lock()
+					f(&st, &admission, &jobLat)
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	st.Admission = summarize(admission)
+	st.Job = summarize(jobLat)
+	return st, ctx.Err()
+}
+
+// submitOne posts one job and follows it to a terminal state, folding the
+// outcome into the shared stats via the record closure.
+func submitOne(ctx context.Context, client *http.Client, baseURL string, spec JobSpec,
+	wait time.Duration, record func(func(*LoadStats, *[]time.Duration, *[]time.Duration))) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		record(func(st *LoadStats, _, _ *[]time.Duration) { st.Errors++ })
+		return
+	}
+	t0 := time.Now()
+	view, code, err := postJob(ctx, client, baseURL, body)
+	admit := time.Since(t0)
+	record(func(st *LoadStats, adm, _ *[]time.Duration) {
+		st.Submitted++
+		switch {
+		case err != nil:
+			st.Errors++
+			return
+		case code == http.StatusTooManyRequests:
+			st.Rejected++
+		case code == http.StatusServiceUnavailable:
+			st.Unavailable++
+		case code == http.StatusAccepted:
+			st.Accepted++
+		default:
+			st.Errors++
+			return
+		}
+		*adm = append(*adm, admit)
+	})
+	if err != nil || code != http.StatusAccepted {
+		return
+	}
+
+	for {
+		v, err := pollJob(ctx, client, baseURL, view.ID, wait)
+		if err != nil {
+			record(func(st *LoadStats, _, _ *[]time.Duration) { st.Errors++ })
+			return
+		}
+		if v.Status.terminal() {
+			lat := time.Since(t0)
+			record(func(st *LoadStats, _, jl *[]time.Duration) {
+				switch v.Status {
+				case StatusDone:
+					st.Done++
+				case StatusFailed:
+					st.Failed++
+				case StatusCanceled:
+					st.Canceled++
+				}
+				*jl = append(*jl, lat)
+			})
+			return
+		}
+		if ctx.Err() != nil {
+			record(func(st *LoadStats, _, _ *[]time.Duration) { st.Errors++ })
+			return
+		}
+	}
+}
+
+func postJob(ctx context.Context, client *http.Client, baseURL string, body []byte) (JobView, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobView{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return JobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var view JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return JobView{}, resp.StatusCode, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	}
+	return view, resp.StatusCode, nil
+}
+
+func pollJob(ctx context.Context, client *http.Client, baseURL, id string, wait time.Duration) (JobView, error) {
+	url := fmt.Sprintf("%s/jobs/%s?wait=%s", baseURL, id, wait)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return JobView{}, fmt.Errorf("loadgen: poll %s: HTTP %d", id, resp.StatusCode)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return JobView{}, err
+	}
+	return v, nil
+}
