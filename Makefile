@@ -112,6 +112,16 @@ bench:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
 		$(BENCHDIRS)
 
+# Scheduler scaling curve: the Table 2 subset swept at 1..16 workers (root
+# bench_test.go BenchmarkParallelSweep). Medians over BENCHSCALE_COUNT runs
+# feed results/BENCH_parallel.json; CI runs a workers={1,8} smoke of the
+# same family and gates on gross regression.
+BENCHSCALE_COUNT ?= 3
+.PHONY: bench-scaling
+bench-scaling:
+	$(GO) test -run 'xxx' -bench 'BenchmarkParallelSweep' -benchmem \
+		-count $(BENCHSCALE_COUNT) -timeout 60m .
+
 # Regression gate: re-run the micro-benchmarks and fail when any median
 # time/op regressed >20% against the committed baseline.
 .PHONY: bench-gate

@@ -429,15 +429,35 @@ func BenchmarkAIGERBinaryRoundTrip(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelSweep compares 1 vs 4 workers on pdc.
+// BenchmarkParallelSweep is the scheduler scaling family: a representative
+// Table 2 subset swept at 1..16 workers. Setup (parsing, random
+// simulation, class construction) runs off the clock so each sub-benchmark
+// times only the sweep itself; `make bench-scaling` records the speedup
+// curve into results/BENCH_parallel.json.
 func BenchmarkParallelSweep(b *testing.B) {
-	for _, workers := range []int{1, 4} {
-		b.Run(strconv.Itoa(workers), func(b *testing.B) {
+	suite := []string{"alu4", "apex2", "cps", "pdc", "spla"}
+	nets := make(map[string]*Network, len(suite))
+	for _, name := range suite {
+		net, err := LoadBenchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets[name] = net
+	}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				net, _ := LoadBenchmark("pdc")
-				run := core.NewRunner(net, 1, 42)
-				sw := sweep.New(net, run.Classes, sweep.Options{})
-				sw.RunParallel(workers)
+				for _, name := range suite {
+					b.StopTimer()
+					net := nets[name]
+					run := core.NewRunner(net, 1, 42)
+					sw := sweep.New(net, run.Classes, sweep.Options{})
+					b.StartTimer()
+					res := sw.RunParallel(workers)
+					if res.Proved == 0 && res.Disproved == 0 {
+						b.Fatalf("%s: sweep produced no verdicts", name)
+					}
+				}
 			}
 		})
 	}

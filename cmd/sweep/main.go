@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"simgen"
@@ -67,7 +68,7 @@ func main() {
 	flag.IntVar(&cfg.maxEscalate, "max-escalations", 2, "escalation rungs for budget-exhausted pairs (0 = drop immediately)")
 	flag.BoolVar(&cfg.bddFallback, "bdd-fallback", false, "retry pairs that exhaust the final rung on the BDD engine")
 	flag.IntVar(&cfg.bddNodes, "bdd-nodes", 1<<20, "BDD fallback node limit (0 = manager default)")
-	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers")
+	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd|portfolio")
 	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,6 +97,14 @@ func main() {
 		}
 		stopProf()
 		os.Exit(code)
+	}
+
+	if cfg.workers < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", cfg.workers)
+		exit(exitUsage)
+	}
+	if cfg.workers == 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 
 	ctx := context.Background()

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -32,7 +33,7 @@ func main() {
 func run() error {
 	var (
 		addr         = flag.String("addr", ":8344", "listen address")
-		workers      = flag.Int("workers", 2, "job pool size (jobs running concurrently)")
+		workers      = flag.Int("workers", 2, "job pool size (jobs running concurrently; 0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
 		storeCap     = flag.Int("store-cap", 1024, "finished jobs retained for polling")
 		timeout      = flag.Duration("timeout", 0, "default per-job wall-clock budget (0 = none)")
@@ -44,6 +45,12 @@ func run() error {
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	srv := sweepd.New(sweepd.Config{

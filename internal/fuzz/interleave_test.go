@@ -120,12 +120,16 @@ func TestInterleavingSweep(t *testing.T) {
 	}
 	cfg := Config{Seed: 1789}
 
+	// Worker counts rotate per combo so the matrix also explores the
+	// oversubscribed regimes where stealing and batched merges dominate.
+	workerCounts := []int{4, 8, 16}
+
 	for i, b := range baselines {
 		for s := 0; s < schedPer; s++ {
 			inj := chaos.NewSchedule(int64(i*10000+s), chaos.ScheduleProfile())
 			rec := &obs.Recorder{}
 			sw := sweep.New(b.net, coarseClasses(b.net, cfg), sweep.Options{Chaos: inj, Tracer: rec})
-			res := sw.RunParallel(4)
+			res := sw.RunParallel(workerCounts[s%len(workerCounts)])
 			label := b.name + "/sched-" + strconv.Itoa(s)
 			// Schedule shaping must not change any verdict.
 			if res.WorkerPanics != 0 || res.Requeued != 0 {
@@ -153,7 +157,7 @@ func TestInterleavingSweep(t *testing.T) {
 			inj := chaos.NewSchedule(int64(i*10000+f+5000), chaos.FaultProfile())
 			rec := &obs.Recorder{}
 			sw := sweep.New(b.net, coarseClasses(b.net, cfg), sweep.Options{Chaos: inj, Tracer: rec})
-			res := sw.RunParallel(4)
+			res := sw.RunParallel(workerCounts[f%len(workerCounts)])
 			label := b.name + "/fault-" + strconv.Itoa(f)
 			checkEventBalance(t, label, rec, res)
 			// Soundness survives injected faults: merged nodes must share a

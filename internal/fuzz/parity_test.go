@@ -61,6 +61,93 @@ func TestSchedulerParitySequentialVsParallel(t *testing.T) {
 	}
 }
 
+// TestSchedulerParityHighWorkerCount re-runs the parity gate at workers=16
+// — well past the core count of any CI runner, so the deques are mostly
+// dry, the refill/steal/park machinery runs constantly, and every
+// oversubscription pathology (thieves mobbing one victim, workers parking
+// while a sibling's private pool holds the last pending pair) gets
+// exercised. The proven-pair set and representative mapping must still be
+// identical to the sequential sweep.
+func TestSchedulerParityHighWorkerCount(t *testing.T) {
+	cfg := Config{Seed: 271}
+	for _, name := range ShapeNames() {
+		shape := Shapes()[name]
+		seed := iterationSeed(271, 0)
+		net := Generate(rand.New(rand.NewSource(seed)), shape)
+
+		seq := sweep.New(net, coarseClasses(net, cfg), sweep.Options{})
+		seqRes := seq.Run()
+		rec := &obs.Recorder{}
+		par := sweep.New(net, coarseClasses(net, cfg), sweep.Options{Tracer: rec})
+		parRes := par.RunParallel(16)
+
+		if seqRes.Proved != parRes.Proved {
+			t.Fatalf("%s: proved %d sequential vs %d at workers=16", name, seqRes.Proved, parRes.Proved)
+		}
+		if seqRes.Unresolved != parRes.Unresolved {
+			t.Fatalf("%s: unresolved %d sequential vs %d at workers=16", name, seqRes.Unresolved, parRes.Unresolved)
+		}
+		for id := 0; id < net.NumNodes(); id++ {
+			nid := network.NodeID(id)
+			if seq.Rep(nid) != par.Rep(nid) {
+				t.Fatalf("%s: node %d rep %d sequential vs %d at workers=16",
+					name, nid, seq.Rep(nid), par.Rep(nid))
+			}
+		}
+		seqApply := netString(t, sweep.Apply(net, seq.Rep))
+		parApply := netString(t, sweep.Apply(net, par.Rep))
+		if seqApply != parApply {
+			t.Fatalf("%s: sweep.Apply output differs between workers=1 and workers=16", name)
+		}
+		// The contention counters must stay consistent with the stream even
+		// when zero: every steal and batch merge is an event.
+		if n := len(rec.Filter(obs.KindSteal)); n != parRes.Steals {
+			t.Fatalf("%s: result steals %d, stream %d", name, parRes.Steals, n)
+		}
+		if n := len(rec.Filter(obs.KindBatchMerge)); n != parRes.BatchMerges {
+			t.Fatalf("%s: result batch merges %d, stream %d", name, parRes.BatchMerges, n)
+		}
+		if n := len(rec.Filter(obs.KindStripeContention)); n != parRes.StripeContention {
+			t.Fatalf("%s: result stripe contention %d, stream %d", name, parRes.StripeContention, n)
+		}
+	}
+}
+
+// TestSequentialTraceGoldenStable pins the workers=1 trace contract the
+// committed goldens (internal/obs/testdata/traces) rely on: a sequential
+// sweep under a deterministic JSONL tracer is a pure function of the
+// circuit — two runs produce byte-identical streams, and no event kind
+// introduced for the parallel scheduler (steal, batch_merge,
+// stripe_contention) ever appears in them.
+func TestSequentialTraceGoldenStable(t *testing.T) {
+	cfg := Config{Seed: 99}
+	for _, name := range ShapeNames() {
+		shape := Shapes()[name]
+		seed := iterationSeed(99, 0)
+
+		trace := func() string {
+			net := Generate(rand.New(rand.NewSource(seed)), shape)
+			var b strings.Builder
+			tr := obs.NewJSONL(&b)
+			tr.Deterministic = true
+			sweep.New(net, coarseClasses(net, cfg), sweep.Options{Tracer: tr}).Run()
+			if err := tr.Err(); err != nil {
+				t.Fatalf("%s: trace write: %v", name, err)
+			}
+			return b.String()
+		}
+		first, second := trace(), trace()
+		if first != second {
+			t.Fatalf("%s: sequential deterministic traces differ between identical runs", name)
+		}
+		for _, kind := range []string{"steal", "batch_merge", "stripe_contention"} {
+			if strings.Contains(first, `"k":"`+kind+`"`) {
+				t.Fatalf("%s: parallel-only event %q leaked into a sequential trace", name, kind)
+			}
+		}
+	}
+}
+
 // equalResolveMultiset reduces a recorded event stream to the multiset of
 // equal-verdict resolve events keyed on (a, b). Parallel workers claim
 // obligations in timing-dependent order, so differ/unknown obligations vary

@@ -30,6 +30,8 @@ type Collector struct {
 	requeued  int // requeue events + panic events with a retry left
 	retried   int // obligation claims that were retries of requeued pairs
 	perturbs  int // chaos perturbation actions fired
+	steals    int // work-stealing batches moved between worker deques
+	contended int // union-find merges that hit stripe contention
 
 	escalations []int // count per rung (index rung-1)
 	bddBlowups  int
@@ -113,6 +115,12 @@ func (c *Collector) Emit(ev Event) {
 		c.requeued++
 	case KindPerturb:
 		c.perturbs++
+	case KindSteal:
+		c.steals++
+	case KindBatchMerge:
+		c.pool.BatchMerges++
+	case KindStripeContention:
+		c.contended++
 	case KindPoolFlush:
 		c.pool.Flushes++
 		c.pool.Lanes += int(ev.Lanes)
@@ -158,10 +166,11 @@ type ObligationReport struct {
 	Equal     int `json:"equal"`
 	Differ    int `json:"differ"`
 	Unknown   int `json:"unknown"`
-	Dropped   int `json:"dropped"`  // panics out of retries: claimed, never resolved
-	Requeued  int `json:"requeued"` // returned to the queue after a panic or transient failure
-	Retried   int `json:"retried"`  // requeued pairs claimed again
-	Panics    int `json:"panics"`   // recovered worker panics (requeued or dropped)
+	Dropped   int `json:"dropped"`          // panics out of retries: claimed, never resolved
+	Requeued  int `json:"requeued"`         // returned to the queue after a panic or transient failure
+	Retried   int `json:"retried"`          // requeued pairs claimed again
+	Panics    int `json:"panics"`           // recovered worker panics (requeued or dropped)
+	Steals    int `json:"steals,omitempty"` // work-stealing batches between worker deques
 	QueuePeak int `json:"queue_peak"`
 }
 
@@ -171,6 +180,9 @@ type PoolReport struct {
 	Lanes   int `json:"lanes"`
 	Splits  int `json:"splits"`
 	Dropped int `json:"dropped"`
+	// BatchMerges counts per-worker pool batches merged into the shared
+	// partition (parallel runs; each batch merge performs one flush).
+	BatchMerges int `json:"batch_merges,omitempty"`
 }
 
 // GenReport summarizes the simulation runner and its vector source.
@@ -192,12 +204,15 @@ type Report struct {
 	// Engines is sorted by name for stable rendering.
 	Engines []EngineReport `json:"engines"`
 	// Escalations[i] counts pairs that reached rung i+1 of the ladder.
-	Escalations []int         `json:"escalations,omitempty"`
-	BDDBlowups  int           `json:"bdd_blowups,omitempty"`
-	Perturbs    int           `json:"perturbs,omitempty"`
-	Pool        PoolReport    `json:"pool"`
-	Gen         GenReport     `json:"gen"`
-	ProveTime   time.Duration `json:"prove_time_ns"`
+	Escalations []int `json:"escalations,omitempty"`
+	BDDBlowups  int   `json:"bdd_blowups,omitempty"`
+	Perturbs    int   `json:"perturbs,omitempty"`
+	// StripeContention counts union-find merges that contended on a stripe
+	// lock — the explainability counter behind the scaling curve.
+	StripeContention int           `json:"stripe_contention,omitempty"`
+	Pool             PoolReport    `json:"pool"`
+	Gen              GenReport     `json:"gen"`
+	ProveTime        time.Duration `json:"prove_time_ns"`
 	// Utilization is the fraction of worker wall time spent inside engine
 	// Prove calls: ProveTime / (Wall * Workers). 0 when no work ran.
 	Utilization float64 `json:"utilization"`
@@ -221,15 +236,17 @@ func (c *Collector) Report() Report {
 			Requeued:  c.requeued,
 			Retried:   c.retried,
 			Panics:    c.panics,
+			Steals:    c.steals,
 			QueuePeak: int(c.queuePeak),
 		},
-		Escalations: append([]int(nil), c.escalations...),
-		BDDBlowups:  c.bddBlowups,
-		Perturbs:    c.perturbs,
-		Pool:        c.pool,
-		Gen:         c.gen,
-		ProveTime:   c.proveTime,
-		FinalCost:   c.cost,
+		Escalations:      append([]int(nil), c.escalations...),
+		BDDBlowups:       c.bddBlowups,
+		Perturbs:         c.perturbs,
+		StripeContention: c.contended,
+		Pool:             c.pool,
+		Gen:              c.gen,
+		ProveTime:        c.proveTime,
+		FinalCost:        c.cost,
 	}
 	if r.Workers < 1 {
 		r.Workers = 1
@@ -270,6 +287,10 @@ func (r Report) Format() string {
 	}
 	if r.Perturbs > 0 {
 		fmt.Fprintf(&b, "chaos: %d perturbations injected\n", r.Perturbs)
+	}
+	if o.Steals > 0 || r.StripeContention > 0 || r.Pool.BatchMerges > 0 {
+		fmt.Fprintf(&b, "contention: %d steals, %d batch merges, %d contended unions\n",
+			o.Steals, r.Pool.BatchMerges, r.StripeContention)
 	}
 	if len(r.Engines) > 0 {
 		fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %12s %12s\n",

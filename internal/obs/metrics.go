@@ -227,6 +227,9 @@ type MetricsTracer struct {
 	requeues    *Counter
 	retried     *Counter
 	perturbs    *Counter
+	steals      *Counter
+	batchMerges *Counter
+	contention  *Counter
 	escalations *Counter
 	bddBlowups  *Counter
 	poolFlushes *Counter
@@ -269,6 +272,9 @@ func NewMetricsTracer(m *Metrics) *MetricsTracer {
 		requeues:    m.Counter("sweep.requeues"),
 		retried:     m.Counter("sweep.retried"),
 		perturbs:    m.Counter("chaos.perturbs"),
+		steals:      m.Counter("sweep.steals"),
+		batchMerges: m.Counter("pool.batch_merges"),
+		contention:  m.Counter("uf.stripe_contention"),
 		escalations: m.Counter("sweep.escalations"),
 		bddBlowups:  m.Counter("sweep.bdd_blowups"),
 		poolFlushes: m.Counter("pool.flushes"),
@@ -352,6 +358,12 @@ func (t *MetricsTracer) Emit(ev Event) {
 		t.requeues.Add(1)
 	case KindPerturb:
 		t.perturbs.Add(1)
+	case KindSteal:
+		t.steals.Add(1)
+	case KindBatchMerge:
+		t.batchMerges.Add(1)
+	case KindStripeContention:
+		t.contention.Add(1)
 	case KindPoolFlush:
 		t.poolFlushes.Add(1)
 		t.poolLanes.Add(int64(ev.Lanes))

@@ -146,6 +146,22 @@ func TestReportMatchesResult(t *testing.T) {
 				if rep.Pool.Lanes != res.PoolLanes {
 					t.Errorf("pool lanes: report %d, result %d", rep.Pool.Lanes, res.PoolLanes)
 				}
+				// Parallel contention counters: events and Result fields are
+				// produced independently and must agree; sequential sweeps
+				// must report all three as zero.
+				if o.Steals != res.Steals {
+					t.Errorf("steals: report %d, result %d", o.Steals, res.Steals)
+				}
+				if rep.Pool.BatchMerges != res.BatchMerges {
+					t.Errorf("batch merges: report %d, result %d", rep.Pool.BatchMerges, res.BatchMerges)
+				}
+				if rep.StripeContention != res.StripeContention {
+					t.Errorf("stripe contention: report %d, result %d", rep.StripeContention, res.StripeContention)
+				}
+				if workers <= 1 && (res.Steals != 0 || res.BatchMerges != 0 || res.StripeContention != 0) {
+					t.Errorf("sequential sweep reported contention counters: steals=%d batchmerges=%d stripecontention=%d",
+						res.Steals, res.BatchMerges, res.StripeContention)
+				}
 				if rep.FinalCost != int64(res.FinalCost) {
 					t.Errorf("final cost: report %d, result %d", rep.FinalCost, res.FinalCost)
 				}

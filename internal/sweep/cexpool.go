@@ -1,9 +1,36 @@
 package sweep
 
 import (
+	"sync/atomic"
+
 	"simgen/internal/network"
 	"simgen/internal/sim"
 )
+
+// pendShared tracks which nodes belong to buffered-but-unflushed
+// counterexample pairs across every pool of a scheduler run. Parallel
+// workers buffer counterexamples in private pools, but the staleness
+// question — "would a class membership query observe state a pending
+// refinement is about to change?" — is global, so the tracker is one
+// shared array of atomic per-node counts plus a total pair count the
+// termination protocol reads without taking the partition lock.
+type pendShared struct {
+	counts []atomic.Int32 // pending-pair membership count per node
+	pairs  atomic.Int64   // buffered pairs across all pools
+}
+
+func newPendShared(n int) *pendShared {
+	return &pendShared{counts: make([]atomic.Int32, n)}
+}
+
+// touches reports whether either node belongs to a pending (unflushed)
+// pair in any pool, i.e. whether its class membership is stale.
+func (p *pendShared) touches(a, b network.NodeID) bool {
+	if p.pairs.Load() == 0 {
+		return false
+	}
+	return p.counts[a].Load() > 0 || p.counts[b].Load() > 0
+}
 
 // cexPool batches SAT/BDD counterexamples for class refinement. A raw
 // counterexample carries one useful bit per 64-bit simulation word; the
@@ -16,21 +43,22 @@ import (
 // refinement via Classes.RefineN — the pool controls its padding
 // explicitly instead of relying on packed-vector replication.
 //
-// The pool is not goroutine-safe; the parallel sweeper serializes access
-// under its partition mutex.
+// Amplification (setLane/add) touches only pool-private buffers and the
+// shared pend tracker's atomics, so parallel workers amplify into their
+// private pools without any lock; flush mutates the partition and must run
+// under the scheduler's partition mutex.
 type cexPool struct {
 	net     *network.Network
 	classes *sim.Classes
 	sim     *sim.Simulator
+	pend    *pendShared
 
 	inputs []sim.Words // one single-word entry per PI
 	lanes  int         // filled lanes of the current word
 
 	// pending holds pairs whose counterexample lanes are buffered but not
-	// yet refined; inPending marks their nodes so callers can detect when
-	// a class membership query would observe stale state.
-	pending   []pair
-	inPending map[network.NodeID]int
+	// yet refined; their nodes are marked in the shared pend tracker.
+	pending []pair
 
 	rot int // rotating start PI for distance-1 flips when NumPIs > 63
 
@@ -43,8 +71,9 @@ const poolLaneCap = 64
 
 // newCexPool builds a pool over the partition. simulator, when non-nil, is
 // reused for the flush simulations instead of compiling a second kernel
-// for the same network.
-func newCexPool(net *network.Network, classes *sim.Classes, simulator *sim.Simulator) *cexPool {
+// for the same network; pend is the scheduler-wide pending tracker shared
+// by every pool of the run.
+func newCexPool(net *network.Network, classes *sim.Classes, simulator *sim.Simulator, pend *pendShared) *cexPool {
 	npi := net.NumPIs()
 	backing := make([]uint64, npi)
 	inputs := make([]sim.Words, npi)
@@ -55,11 +84,11 @@ func newCexPool(net *network.Network, classes *sim.Classes, simulator *sim.Simul
 		simulator = sim.NewSimulator(net)
 	}
 	return &cexPool{
-		net:       net,
-		classes:   classes,
-		sim:       simulator,
-		inputs:    inputs,
-		inPending: make(map[network.NodeID]int),
+		net:     net,
+		classes: classes,
+		sim:     simulator,
+		pend:    pend,
+		inputs:  inputs,
 	}
 }
 
@@ -99,8 +128,9 @@ func (p *cexPool) add(cex []bool, pr pair) {
 		p.rot = (p.rot + flips) % npi
 	}
 	p.pending = append(p.pending, pr)
-	p.inPending[pr.rep]++
-	p.inPending[pr.m]++
+	p.pend.counts[pr.rep].Add(1)
+	p.pend.counts[pr.m].Add(1)
+	p.pend.pairs.Add(1)
 }
 
 // full reports whether the pool has no room for another counterexample.
@@ -109,20 +139,12 @@ func (p *cexPool) full() bool { return p.lanes >= poolLaneCap }
 // empty reports whether nothing is buffered.
 func (p *cexPool) empty() bool { return p.lanes == 0 }
 
-// touches reports whether either node belongs to a pending (unflushed)
-// pair, i.e. whether its class membership is stale.
-func (p *cexPool) touches(a, b network.NodeID) bool {
-	if len(p.inPending) == 0 {
-		return false
-	}
-	return p.inPending[a] > 0 || p.inPending[b] > 0
-}
-
 // flush simulates the buffered lanes once, refines the partition over
 // exactly those lanes, and verifies that every pending pair ended up
 // separated. Pairs a flush somehow failed to separate (a defective
 // counterexample) are dropped from their class to guarantee termination
-// and returned so the caller can account them as unresolved.
+// and returned so the caller can account them as unresolved. The caller
+// holds the scheduler's partition mutex.
 func (p *cexPool) flush() (dropped []pair) {
 	if p.lanes == 0 {
 		return nil
@@ -139,7 +161,11 @@ func (p *cexPool) flush() (dropped []pair) {
 			dropped = append(dropped, pr)
 		}
 	}
+	for _, pr := range p.pending {
+		p.pend.counts[pr.rep].Add(-1)
+		p.pend.counts[pr.m].Add(-1)
+	}
+	p.pend.pairs.Add(-int64(len(p.pending)))
 	p.pending = p.pending[:0]
-	clear(p.inPending)
 	return dropped
 }

@@ -1,0 +1,86 @@
+package sweep
+
+import "sync"
+
+// hint is a lightweight pointer at a class that probably holds a claimable
+// obligation: the class index plus the representative the hint was enqueued
+// under (the scheduler's enq bitmap is keyed by representative, so a hint's
+// dedup slot can be released when the hint is consumed). Hints are
+// optimistic — the class is re-validated against fresh partition state at
+// claim time, so a stale hint costs one lookup, never a wrong verdict.
+type hint struct {
+	ci  int
+	rep int32
+}
+
+// deque is one worker's obligation queue in the work-stealing scheduler.
+// The owner pushes and pops at the tail (LIFO, for partition locality:
+// a follow-up obligation on a just-merged class reuses hot class state);
+// thieves steal a batch from the head, taking the oldest — and therefore
+// most likely still-valid — hints.
+//
+// The implementation is a mutex-guarded slice rather than a lock-free
+// Chase-Lev buffer: obligations are milliseconds of SAT work, so the queue
+// operations are nowhere near the contention frontier, and the mutex keeps
+// the steal-half semantics trivially correct. A thief never holds two
+// deque locks at once (stolen hints are copied out under the victim's lock
+// and pushed under the thief's own lock afterwards), so deque locks cannot
+// deadlock against each other.
+type deque struct {
+	mu  sync.Mutex
+	buf []hint
+}
+
+// push appends a hint at the tail.
+func (d *deque) push(h hint) {
+	d.mu.Lock()
+	d.buf = append(d.buf, h)
+	d.mu.Unlock()
+}
+
+// pushAll appends a batch of hints at the tail.
+func (d *deque) pushAll(hs []hint) {
+	if len(hs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.buf = append(d.buf, hs...)
+	d.mu.Unlock()
+}
+
+// pop removes and returns the tail hint.
+func (d *deque) pop() (hint, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.buf)
+	if n == 0 {
+		return hint{}, false
+	}
+	h := d.buf[n-1]
+	d.buf = d.buf[:n-1]
+	return h, true
+}
+
+// stealHalf removes up to half of the deque (rounded up, at least one when
+// non-empty) from the head and returns the batch. The caller is a thief:
+// it must not hold its own deque lock while calling.
+func (d *deque) stealHalf() []hint {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.buf)
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	out := make([]hint, k)
+	copy(out, d.buf[:k])
+	d.buf = append(d.buf[:0], d.buf[k:]...)
+	return out
+}
+
+// size reports the current queue depth.
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"simgen/internal/chaos"
@@ -14,62 +15,6 @@ import (
 	"simgen/internal/sim"
 )
 
-// unionFind tracks proven-equivalence representatives for every engine —
-// the single replacement for the chain-walking repOf maps the SAT, BDD,
-// and parallel sweepers used to duplicate. Merges always direct the
-// removed member at the surviving class representative (the class's
-// smallest node id, stable across refinement), so roots are deterministic
-// regardless of worker count.
-//
-// It is goroutine-safe: find compresses paths (a write) and is reachable
-// concurrently both during a run and afterwards through Sweeper.Rep, so
-// the structure carries its own mutex rather than leaning on the
-// scheduler's partition lock.
-type unionFind struct {
-	mu     sync.Mutex
-	parent []int32 // parent[i] < 0 means i is a root
-}
-
-func newUnionFind(n int) *unionFind {
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	return &unionFind{parent: parent}
-}
-
-// find returns the root of x, fully compressing the walked path so deep
-// merge chains cost amortized O(1) on later lookups instead of a walk per
-// query.
-func (u *unionFind) find(x network.NodeID) network.NodeID {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.findLocked(x)
-}
-
-func (u *unionFind) findLocked(x network.NodeID) network.NodeID {
-	root := x
-	for u.parent[root] >= 0 {
-		root = network.NodeID(u.parent[root])
-	}
-	for x != root {
-		next := network.NodeID(u.parent[x])
-		u.parent[x] = int32(root)
-		x = next
-	}
-	return root
-}
-
-// union merges m's set into rep's.
-func (u *unionFind) union(rep, m network.NodeID) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	r := u.findLocked(rep)
-	if mr := u.findLocked(m); mr != r {
-		u.parent[mr] = int32(r)
-	}
-}
-
 // obligation is one unit of proof work: member m must be proven equal to
 // or different from its class representative rep (class index ci).
 type obligation struct {
@@ -77,11 +22,30 @@ type obligation struct {
 	rep, m network.NodeID
 }
 
-// scheduler is the single sweep loop behind every engine and mode: one
-// queue of (class, pair) obligations drawn from the partition, consumed by
-// N workers (sequential sweeping is workers=1), one shared union-find, one
-// counterexample pool, one Result shape. Engine differences — SAT vs BDD
-// vs portfolio, escalation, fallback — live entirely behind prover.Engine.
+// workerState is the private state of one parallel worker: an obligation
+// deque (tail for the owner, head for thieves), a counterexample pool that
+// amplifies locally and merges in batches, and a Result shard folded into
+// the run total after the workers join. Everything here is touched without
+// the partition lock except through the scheduler methods that document
+// otherwise.
+type workerState struct {
+	dq   deque
+	pool *cexPool
+	res  Result
+}
+
+// scheduler is the single sweep loop behind every engine and mode: a set
+// of (class, pair) obligations drawn from the partition, consumed by N
+// workers (sequential sweeping is workers=1), one shared union-find, one
+// Result shape. Engine differences — SAT vs BDD vs portfolio, escalation,
+// fallback — live entirely behind prover.Engine.
+//
+// Sequential runs drain one snapshot cursor under the partition mutex —
+// the deterministic, golden-traced path. Parallel runs instead give every
+// worker a private obligation deque (stealing from siblings when dry) and
+// a private counterexample pool (merged in batches), so the hot claim path
+// touches the partition lock once per obligation instead of contending on
+// a global queue, pool, and union-find mutex.
 type scheduler struct {
 	net     *network.Network
 	classes *sim.Classes
@@ -104,7 +68,8 @@ type scheduler struct {
 	inj chaos.Injector
 
 	uf   *unionFind
-	pool *cexPool
+	pend *pendShared
+	pool *cexPool // sequential runs' pool; parallel workers own private pools
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled whenever claims release or work may appear
@@ -112,11 +77,23 @@ type scheduler struct {
 	claimed map[network.NodeID]bool // class reps with an obligation in flight
 	retries map[pair]int            // requeue counts per degraded pair
 
-	// snap is the current NonSingleton snapshot being drained, with a
-	// shared cursor; progress tells refreshes apart from exhausted passes.
+	// snap is the current NonSingleton snapshot being drained by a
+	// sequential run, with a shared cursor; progress tells refreshes apart
+	// from exhausted passes.
 	snap     []int
 	snapPos  int
 	progress bool
+
+	// Parallel-run state. epoch (under mu) counts state transitions that
+	// can mint claimable work — claim releases, pool flushes, deque refills
+	// — so parked workers can tell a broadcast that changed the world from
+	// one that did not. enq dedups obligation hints by representative so
+	// the same class is never queued twice across deques. satCalls mirrors
+	// the per-shard SATCalls sum for the MaxPairs cutoff without a lock.
+	ws       []*workerState
+	enq      []atomic.Bool
+	epoch    uint64
+	satCalls atomic.Int64
 }
 
 // newScheduler builds a scheduler over the partition. simulator, when
@@ -134,6 +111,7 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 			return e
 		}
 	}
+	pend := newPendShared(net.NumNodes())
 	s := &scheduler{
 		net:     net,
 		classes: classes,
@@ -143,7 +121,8 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 		factory: factory,
 		tr:      tr,
 		uf:      newUnionFind(net.NumNodes()),
-		pool:    newCexPool(net, classes, simulator),
+		pend:    pend,
+		pool:    newCexPool(net, classes, simulator, pend),
 		claimed: make(map[network.NodeID]bool),
 		retries: make(map[pair]int),
 	}
@@ -172,6 +151,8 @@ func (s *scheduler) retryLimit() int {
 func (s *scheduler) run(ctx context.Context, workers int) Result {
 	s.res = Result{}
 	s.snap = nil
+	s.ws = nil
+	s.satCalls.Store(0)
 	start := time.Now()
 	if workers <= 1 || s.factory == nil {
 		s.tr.Emit(obs.Event{Kind: obs.KindSweepStart, Workers: 1})
@@ -198,24 +179,7 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 			s.net.Covers(network.NodeID(id))
 		}
 		s.net.Fanouts(0)
-		var wg sync.WaitGroup
-		for i := 0; i < workers; i++ {
-			eng := s.primary
-			if i > 0 {
-				eng = s.factory()
-			}
-			if s.inj != nil {
-				eng = prover.WithChaos(eng, s.inj, s.tr)
-			}
-			wg.Add(1)
-			go func(eng prover.Engine, wid int32) {
-				defer wg.Done()
-				stop := eng.Watch(ctx)
-				defer stop()
-				s.work(ctx, eng, wid, true)
-			}(eng, int32(i))
-		}
-		wg.Wait()
+		s.runParallel(ctx, workers)
 	}
 	s.mu.Lock()
 	s.flushPool(&s.res)
@@ -226,7 +190,65 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 	return s.res
 }
 
-// work is the per-worker loop: claim an obligation, prove it, fold the
+// runParallel seeds the worker deques from the initial partition, runs the
+// workers to completion, merges every leftover private pool, and folds the
+// per-worker Result shards into the run total.
+func (s *scheduler) runParallel(ctx context.Context, workers int) {
+	s.enq = make([]atomic.Bool, s.net.NumNodes())
+	s.ws = make([]*workerState, workers)
+	for i := range s.ws {
+		// Private pools share the sequential pool's simulator: flushes are
+		// serialized under mu, and amplification never touches it.
+		s.ws[i] = &workerState{pool: newCexPool(s.net, s.classes, s.pool.sim, s.pend)}
+	}
+	// Seed the deques round-robin before any worker starts; claims
+	// re-validate against fresh state, so the seeding order is free to be
+	// arbitrary.
+	seeded := 0
+	for _, ci := range s.classes.NonSingleton() {
+		members := s.classes.Members(ci)
+		if len(members) < 2 {
+			continue
+		}
+		rep := members[0]
+		if !s.enq[rep].CompareAndSwap(false, true) {
+			continue
+		}
+		s.ws[seeded%workers].dq.push(hint{ci: ci, rep: int32(rep)})
+		seeded++
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		eng := s.primary
+		if i > 0 {
+			eng = s.factory()
+		}
+		if s.inj != nil {
+			eng = prover.WithChaos(eng, s.inj, s.tr)
+		}
+		wg.Add(1)
+		go func(w *workerState, eng prover.Engine, wid int32) {
+			defer wg.Done()
+			stop := eng.Watch(ctx)
+			defer stop()
+			s.workPar(ctx, w, eng, wid)
+		}(s.ws[i], eng, int32(i))
+	}
+	wg.Wait()
+	s.mu.Lock()
+	// Workers flush their pools before exiting cleanly, but cancellation
+	// (and UnsafeStaleExit) can leave buffered batches behind; merge them
+	// so the partial result still reflects every counterexample.
+	for i, w := range s.ws {
+		s.flushWorkerLocked(w, int32(i))
+	}
+	for _, w := range s.ws {
+		s.res.add(w.res)
+	}
+	s.mu.Unlock()
+}
+
+// work is the sequential loop: claim an obligation, prove it, fold the
 // verdict into the shared state, repeat until the queue runs dry.
 func (s *scheduler) work(ctx context.Context, eng prover.Engine, wid int32, isolate bool) {
 	for ctx.Err() == nil {
@@ -235,6 +257,18 @@ func (s *scheduler) work(ctx context.Context, eng prover.Engine, wid int32, isol
 			return
 		}
 		s.process(ctx, eng, wid, ob, isolate)
+	}
+}
+
+// workPar is the parallel per-worker loop over the worker's deque, the
+// steal targets, and the global refill/park protocol.
+func (s *scheduler) workPar(ctx context.Context, w *workerState, eng prover.Engine, wid int32) {
+	for ctx.Err() == nil {
+		ob, ok := s.nextPar(ctx, w, wid)
+		if !ok {
+			return
+		}
+		s.processPar(ctx, w, eng, wid, ob)
 	}
 }
 
@@ -249,7 +283,7 @@ func (s *scheduler) process(ctx context.Context, eng prover.Engine, wid int32, o
 			if r := recover(); r != nil {
 				s.mu.Lock()
 				s.res.WorkerPanics++
-				n, requeued := s.tryRequeue(ob)
+				n, requeued := s.tryRequeue(ob, &s.res)
 				if !requeued {
 					s.res.Unresolved++
 					s.classes.Remove(ob.m)
@@ -265,6 +299,35 @@ func (s *scheduler) process(ctx context.Context, eng prover.Engine, wid int32, o
 	pr := eng.Prove(ctx, ob.rep, ob.m, s.budget)
 	s.perturb(chaos.PointResolve, wid, int32(ob.rep), int32(ob.m))
 	if s.apply(ctx, wid, ob, pr) {
+		eng.Learn(ob.rep, ob.m)
+	}
+}
+
+// processPar proves one obligation on a parallel worker. Engine panics are
+// recovered and the obligation requeued for a bounded number of retries
+// before it is dropped as unresolved, so one poisoned worker cannot take
+// down the sweep.
+func (s *scheduler) processPar(ctx context.Context, w *workerState, eng prover.Engine, wid int32, ob obligation) {
+	defer s.releasePar(w, ob)
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			w.res.WorkerPanics++
+			n, requeued := s.tryRequeue(ob, &w.res)
+			if !requeued {
+				w.res.Unresolved++
+				s.classes.Remove(ob.m)
+			}
+			s.mu.Unlock()
+			s.tr.Emit(obs.Event{Kind: obs.KindWorkerPanic, Worker: wid,
+				Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
+				Retries: int32(n)})
+		}
+	}()
+	s.perturbPar(chaos.PointClaim, w, wid, int32(ob.rep), int32(ob.m))
+	pr := eng.Prove(ctx, ob.rep, ob.m, s.budget)
+	s.perturbPar(chaos.PointResolve, w, wid, int32(ob.rep), int32(ob.m))
+	if s.applyPar(ctx, w, wid, ob, pr) {
 		eng.Learn(ob.rep, ob.m)
 	}
 }
@@ -310,7 +373,7 @@ func (s *scheduler) next(ctx context.Context, wid int32) (obligation, bool) {
 				continue
 			}
 			m := members[1]
-			if s.pool.touches(rep, m) {
+			if s.pend.touches(rep, m) {
 				// Membership is stale under pending counterexamples:
 				// refine first, then re-read this class.
 				s.perturbLocked(chaos.PointFlush, wid, int32(rep), int32(m))
@@ -357,6 +420,205 @@ func (s *scheduler) next(ctx context.Context, wid int32) (obligation, bool) {
 	}
 }
 
+// nextPar claims the next obligation for a parallel worker. The fast path
+// touches only the worker's own deque (plus one partition-lock hop in
+// claimHint to validate the hint); when the deque runs dry the worker
+// steals from a sibling, and only when every deque is dry does it enter
+// the global phase: merge its private counterexample batch, refill its
+// deque from a fresh partition scan, park while work is in flight
+// elsewhere, or exit.
+//
+// Termination follows the PR 6 fresh-state protocol, restated for
+// stealing: a worker exits only after (1) its own pool is flushed, (2) a
+// scan of fresh partition state enqueued nothing, and (3) no claim is
+// held, no counterexample is pending in any pool, and every deque is
+// empty. While (3) fails the worker parks on the condition variable,
+// keyed to the epoch counter so a wakeup that changed nothing goes back to
+// sleep. Every transition that can mint claimable work — a claim release,
+// a pool flush, a refill — bumps the epoch and broadcasts, so a parked
+// worker cannot miss the wakeup between its check and its sleep (both
+// happen under mu).
+func (s *scheduler) nextPar(ctx context.Context, w *workerState, wid int32) (obligation, bool) {
+	for {
+		if ctx.Err() != nil {
+			return obligation{}, false
+		}
+		if s.opts.MaxPairs > 0 && int(s.satCalls.Load()) >= s.opts.MaxPairs {
+			s.mu.Lock()
+			w.res.Incomplete = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return obligation{}, false
+		}
+		if h, ok := w.dq.pop(); ok {
+			if ob, ok := s.claimHint(w, wid, h); ok {
+				return ob, true
+			}
+			continue
+		}
+		if h, ok := s.stealWork(w, wid); ok {
+			if ob, ok := s.claimHint(w, wid, h); ok {
+				return ob, true
+			}
+			continue
+		}
+		// Every deque this worker can see is dry: enter the global phase.
+		s.mu.Lock()
+		if ctx.Err() != nil {
+			s.mu.Unlock()
+			return obligation{}, false
+		}
+		if !w.pool.empty() {
+			s.flushWorkerLocked(w, wid)
+			s.mu.Unlock()
+			continue
+		}
+		if s.opts.UnsafeStaleExit {
+			// Test-only: the pre-fix protocol trusted its drained queue and
+			// exited here without the fresh rescan or the park — abandoning
+			// any class a pool flush split after the queues were seeded.
+			s.mu.Unlock()
+			return obligation{}, false
+		}
+		if s.refillLocked(w, wid) > 0 {
+			s.mu.Unlock()
+			continue
+		}
+		if s.workInFlightLocked() {
+			e := s.epoch
+			for s.epoch == e && ctx.Err() == nil && s.workInFlightLocked() {
+				s.wait(wid)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		// Fresh state holds no work and nothing can mint more: wake any
+		// parked sibling so it re-evaluates and exits too.
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return obligation{}, false
+	}
+}
+
+// claimHint validates one deque hint against fresh partition state and
+// claims the obligation it points at. A hint is only a rumor: the class
+// may have gone singleton, its representative may already be claimed, or
+// its membership may be stale under a pending counterexample — in which
+// case the worker merges its own batch (the usual blocker is a pair this
+// worker just disproved) and re-reads once before giving the hint up.
+// Dropped hints are not lost work: the class stays discoverable through
+// the fresh rescans of the refill path.
+func (s *scheduler) claimHint(w *workerState, wid int32, h hint) (obligation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enq[h.rep].Store(false)
+	members := s.classes.Members(h.ci)
+	if len(members) < 2 {
+		return obligation{}, false
+	}
+	rep, m := members[0], members[1]
+	if s.claimed[rep] {
+		return obligation{}, false
+	}
+	if s.pend.touches(rep, m) {
+		if w.pool.empty() {
+			return obligation{}, false
+		}
+		s.perturbLockedPar(chaos.PointFlush, w, wid, int32(rep), int32(m))
+		s.flushWorkerLocked(w, wid)
+		members = s.classes.Members(h.ci)
+		if len(members) < 2 {
+			return obligation{}, false
+		}
+		rep, m = members[0], members[1]
+		if s.claimed[rep] || s.pend.touches(rep, m) {
+			return obligation{}, false
+		}
+	}
+	s.claimed[rep] = true
+	w.res.Scheduled++
+	retries := int32(s.retries[pair{rep, m}])
+	if retries > 0 {
+		w.res.Retried++
+	}
+	s.tr.Emit(obs.Event{Kind: obs.KindObligation, Worker: wid,
+		Class: int32(h.ci), A: int32(rep), B: int32(m),
+		Pending: int32(w.dq.size()), Retries: retries})
+	return obligation{ci: h.ci, rep: rep, m: m}, true
+}
+
+// stealWork takes a batch of hints from the first non-empty sibling deque,
+// keeps the newest stolen hint for immediate claiming, and moves the rest
+// into the thief's own deque. Victim order rotates with the thief's id so
+// sixteen dry workers do not all mob worker 0.
+func (s *scheduler) stealWork(w *workerState, wid int32) (hint, bool) {
+	n := len(s.ws)
+	for i := 1; i < n; i++ {
+		v := (int(wid) + i) % n
+		batch := s.ws[v].dq.stealHalf()
+		if len(batch) == 0 {
+			continue
+		}
+		w.res.Steals++
+		s.tr.Emit(obs.Event{Kind: obs.KindSteal, Worker: wid,
+			A: int32(v), Pending: int32(len(batch))})
+		s.perturbPar(chaos.PointSteal, w, wid, int32(v), int32(len(batch)))
+		h := batch[len(batch)-1]
+		w.dq.pushAll(batch[:len(batch)-1])
+		return h, true
+	}
+	return hint{}, false
+}
+
+// refillLocked rescans fresh partition state and enqueues every claimable
+// class that no deque already advertises — into this worker's own deque
+// only, so a hint can never strand in the deque of a worker that has
+// exited (a non-empty deque always has a live owner). The caller holds
+// mu. Returns the number of hints enqueued.
+func (s *scheduler) refillLocked(w *workerState, wid int32) int {
+	n := 0
+	for _, ci := range s.classes.NonSingleton() {
+		members := s.classes.Members(ci)
+		if len(members) < 2 {
+			continue
+		}
+		rep := members[0]
+		if s.claimed[rep] || s.pend.touches(rep, members[1]) {
+			continue
+		}
+		if !s.enq[rep].CompareAndSwap(false, true) {
+			continue
+		}
+		w.dq.push(hint{ci: ci, rep: int32(rep)})
+		n++
+	}
+	if n > 0 {
+		// Fresh work appeared: parked siblings can steal it.
+		s.epoch++
+		s.cond.Broadcast()
+	}
+	return n
+}
+
+// workInFlightLocked reports whether any in-flight state can still mint
+// claimable work: a held claim (its release may re-enqueue the class), a
+// pending counterexample in any pool (its flush may split classes), or a
+// non-empty deque (its owner or a thief will drain it). The caller holds
+// mu. Parked workers always have an empty deque and a flushed pool, so
+// any pending counterexample belongs to an active worker that will flush
+// it — parking on this predicate cannot deadlock.
+func (s *scheduler) workInFlightLocked() bool {
+	if len(s.claimed) > 0 || s.pend.pairs.Load() > 0 {
+		return true
+	}
+	for _, ws := range s.ws {
+		if ws.dq.size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // claimable reports whether a fresh partition scan holds any unclaimed
 // obligation; the caller holds mu and has drained the pool.
 func (s *scheduler) claimable() bool {
@@ -395,18 +657,40 @@ func (s *scheduler) release(rep network.NodeID) {
 	s.mu.Unlock()
 }
 
+// releasePar releases a parallel worker's claim and pushes a follow-up
+// hint when the obligation's class still holds work — straight into the
+// worker's own deque, so a settled-but-unfinished class is re-claimed with
+// zero rescans. Classes blocked by a pending counterexample are left for
+// the refill path: they become claimable only after a flush, which is
+// exactly when a fresh rescan happens.
+func (s *scheduler) releasePar(w *workerState, ob obligation) {
+	s.mu.Lock()
+	delete(s.claimed, ob.rep)
+	if members := s.classes.Members(ob.ci); len(members) >= 2 {
+		rep := members[0]
+		if !s.claimed[rep] && !s.pend.touches(rep, members[1]) &&
+			s.enq[rep].CompareAndSwap(false, true) {
+			w.dq.push(hint{ci: ob.ci, rep: int32(rep)})
+		}
+	}
+	s.epoch++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // tryRequeue returns ob's pair to the queue after a recoverable failure
 // when its retry budget allows, reporting the pair's new retry count; the
-// caller holds mu. The pair stays in its class, so the next fresh scan
-// reissues the obligation.
-func (s *scheduler) tryRequeue(ob obligation) (retries int, ok bool) {
+// caller holds mu and passes the Result shard the requeue is accounted to.
+// The pair stays in its class, so the next fresh scan reissues the
+// obligation.
+func (s *scheduler) tryRequeue(ob obligation, res *Result) (retries int, ok bool) {
 	limit := s.retryLimit()
 	pr := pair{ob.rep, ob.m}
 	if limit <= 0 || s.retries[pr] >= limit {
 		return 0, false
 	}
 	s.retries[pr]++
-	s.res.Requeued++
+	res.Requeued++
 	return s.retries[pr], true
 }
 
@@ -427,7 +711,7 @@ func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prov
 	if pr.Verdict == prover.Unknown && pr.Transient && ctx.Err() == nil {
 		// A transient (injected) engine failure is not budget exhaustion:
 		// requeue the pair for another attempt instead of resolving it.
-		if n, ok := s.tryRequeue(ob); ok {
+		if n, ok := s.tryRequeue(ob, &s.res); ok {
 			s.tr.Emit(obs.Event{Kind: obs.KindRequeue, Worker: wid,
 				Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
 				Retries: int32(n)})
@@ -472,28 +756,140 @@ func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prov
 	return false
 }
 
-// flushPool drains the counterexample pool into the partition; the caller
-// holds mu. Pairs a flush failed to separate (defective counterexamples)
-// are dropped from their classes by the pool and accounted both as
-// unresolved and under the distinct PoolDropped counter.
+// applyPar folds one prover outcome on a parallel worker. Engine statistics
+// and verdict counts land in the worker's private Result shard; only the
+// partition mutations (merge, remove) and the requeue bookkeeping take the
+// partition lock, and the union-find merge runs on its own stripe locks
+// outside mu entirely.
+func (s *scheduler) applyPar(ctx context.Context, w *workerState, wid int32, ob obligation, pr prover.Result) bool {
+	st := pr.Stats
+	w.res.SATCalls += st.SATCalls
+	w.res.SATTime += st.Time
+	w.res.Escalations += st.Escalations
+	w.res.BDDChecks += st.BDDChecks
+	w.res.SimChecks += st.SimChecks
+	w.res.BDDBlowups += st.BDDBlowups
+	w.res.Conflicts += st.Conflicts
+	w.res.Propagations += st.Propagations
+	s.satCalls.Add(int64(st.SATCalls))
+	if pr.Verdict == prover.Unknown && pr.Transient && ctx.Err() == nil {
+		s.mu.Lock()
+		n, ok := s.tryRequeue(ob, &w.res)
+		s.mu.Unlock()
+		if ok {
+			s.tr.Emit(obs.Event{Kind: obs.KindRequeue, Worker: wid,
+				Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
+				Retries: int32(n)})
+			return false
+		}
+	}
+	s.tr.Emit(obs.Event{Kind: obs.KindResolve, Worker: wid,
+		Class: int32(ob.ci), A: int32(ob.rep), B: int32(ob.m),
+		Verdict: int8(pr.Verdict), Dur: st.Time})
+	switch pr.Verdict {
+	case prover.Equal:
+		s.perturbPar(chaos.PointMerge, w, wid, int32(ob.rep), int32(ob.m))
+		s.mu.Lock()
+		merge := false
+		if cm := s.classes.ClassOf(ob.m); cm >= 0 && cm == s.classes.ClassOf(ob.rep) {
+			s.classes.Remove(ob.m)
+			merge = true
+		}
+		s.mu.Unlock()
+		if merge {
+			if s.uf.union(ob.rep, ob.m) {
+				w.res.StripeContention++
+				s.tr.Emit(obs.Event{Kind: obs.KindStripeContention, Worker: wid,
+					A: int32(ob.rep), B: int32(ob.m)})
+			}
+		}
+		w.res.Proved++
+		return true
+	case prover.Differ:
+		w.res.Disproved++
+		w.res.CexVectors++
+		if w.pool.full() {
+			s.mu.Lock()
+			s.flushWorkerLocked(w, wid)
+			s.mu.Unlock()
+		}
+		// Amplification runs lock-free: the pool buffers are worker-private
+		// and the pending marks are atomics.
+		w.pool.add(pr.Cex, pair{ob.rep, ob.m})
+	default:
+		if ctx.Err() != nil {
+			w.res.Incomplete = true
+			return false
+		}
+		s.mu.Lock()
+		s.classes.Remove(ob.m)
+		s.mu.Unlock()
+		w.res.Unresolved++
+	}
+	return false
+}
+
+// flushPool drains the sequential counterexample pool into the partition;
+// the caller holds mu.
 func (s *scheduler) flushPool(res *Result) {
-	if s.pool.empty() {
+	s.flushPoolOf(res, s.pool, 0)
+}
+
+// flushWorkerLocked merges one parallel worker's private counterexample
+// batch into the partition through a single batched refinement; the caller
+// holds mu. The batch-merge event precedes the flush it performs.
+func (s *scheduler) flushWorkerLocked(w *workerState, wid int32) {
+	if w.pool.empty() {
 		return
 	}
-	lanes := s.pool.lanes
+	w.res.BatchMerges++
+	s.tr.Emit(obs.Event{Kind: obs.KindBatchMerge, Worker: wid,
+		Lanes: int32(w.pool.lanes), Pending: int32(len(w.pool.pending))})
+	if s.inj != nil {
+		// A restricted perturbation point: the flush is already committed,
+		// so only schedule-shaping actions apply (an injected flush here
+		// would recurse into the flush in progress).
+		switch act := s.inj.At(chaos.PointBatchMerge, int32(w.pool.lanes), int32(len(w.pool.pending))); act {
+		case chaos.ActYield:
+			runtime.Gosched()
+			s.emitPerturb(chaos.PointBatchMerge, act, wid, -1, -1)
+		case chaos.ActDelay:
+			for i := 0; i < schedDelaySpins; i++ {
+				runtime.Gosched()
+			}
+			s.emitPerturb(chaos.PointBatchMerge, act, wid, -1, -1)
+		case chaos.ActWake:
+			s.cond.Broadcast()
+			s.emitPerturb(chaos.PointBatchMerge, act, wid, -1, -1)
+		}
+	}
+	s.flushPoolOf(&w.res, w.pool, wid)
+}
+
+// flushPoolOf drains one counterexample pool into the partition, folding
+// the accounting into res; the caller holds mu. Pairs a flush failed to
+// separate (defective counterexamples) are dropped from their classes by
+// the pool and accounted both as unresolved and under the distinct
+// PoolDropped counter.
+func (s *scheduler) flushPoolOf(res *Result, p *cexPool, wid int32) {
+	if p.empty() {
+		return
+	}
+	lanes := p.lanes
 	before := s.classes.NumClasses()
 	start := time.Now()
-	dropped := s.pool.flush()
+	dropped := p.flush()
 	res.Unresolved += len(dropped)
 	res.PoolDropped += len(dropped)
 	res.PoolFlushes++
 	res.PoolLanes += lanes
-	s.tr.Emit(obs.Event{Kind: obs.KindPoolFlush,
+	s.tr.Emit(obs.Event{Kind: obs.KindPoolFlush, Worker: wid,
 		Lanes:   int32(lanes),
 		Splits:  int32(s.classes.NumClasses() - before),
 		Dropped: int32(len(dropped)),
 		Dur:     time.Since(start)})
 	// A flush reshapes the partition; parked workers must rescan.
+	s.epoch++
 	s.cond.Broadcast()
 }
 
@@ -526,6 +922,34 @@ func (s *scheduler) perturb(p chaos.Point, wid, a, b int32) {
 	s.emitPerturb(p, act, wid, a, b)
 }
 
+// perturbPar is perturb for unlocked decision points on a parallel worker:
+// an injected flush merges the worker's own batch.
+func (s *scheduler) perturbPar(p chaos.Point, w *workerState, wid, a, b int32) {
+	if s.inj == nil {
+		return
+	}
+	act := s.inj.At(p, a, b)
+	switch act {
+	case chaos.ActYield:
+		runtime.Gosched()
+	case chaos.ActDelay:
+		for i := 0; i < schedDelaySpins; i++ {
+			runtime.Gosched()
+		}
+	case chaos.ActFlush:
+		s.mu.Lock()
+		s.flushWorkerLocked(w, wid)
+		s.mu.Unlock()
+	case chaos.ActWake:
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	default:
+		return
+	}
+	s.emitPerturb(p, act, wid, a, b)
+}
+
 // perturbLocked is perturb for decision points reached with mu held.
 func (s *scheduler) perturbLocked(p chaos.Point, wid, a, b int32) {
 	if s.inj == nil {
@@ -541,6 +965,30 @@ func (s *scheduler) perturbLocked(p chaos.Point, wid, a, b int32) {
 		}
 	case chaos.ActFlush:
 		s.flushPool(&s.res)
+	case chaos.ActWake:
+		s.cond.Broadcast()
+	default:
+		return
+	}
+	s.emitPerturb(p, act, wid, a, b)
+}
+
+// perturbLockedPar is perturbLocked on a parallel worker: an injected
+// flush merges the worker's own batch.
+func (s *scheduler) perturbLockedPar(p chaos.Point, w *workerState, wid, a, b int32) {
+	if s.inj == nil {
+		return
+	}
+	act := s.inj.At(p, a, b)
+	switch act {
+	case chaos.ActYield:
+		runtime.Gosched()
+	case chaos.ActDelay:
+		for i := 0; i < schedDelaySpins; i++ {
+			runtime.Gosched()
+		}
+	case chaos.ActFlush:
+		s.flushWorkerLocked(w, wid)
 	case chaos.ActWake:
 		s.cond.Broadcast()
 	default:

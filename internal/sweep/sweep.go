@@ -206,6 +206,39 @@ type Result struct {
 	PoolDropped  int   // pairs dropped by flushes whose counterexample failed to split
 	Incomplete   bool  // a deadline, cancel, or MaxPairs stopped the sweep early
 	TimedOut     bool  // the early stop was a context deadline
+
+	// Parallel-run contention counters (always zero for sequential sweeps).
+	Steals           int // hint batches stolen between worker deques
+	BatchMerges      int // private cex batches merged into the partition
+	StripeContention int // union-find merges that contended on a stripe lock
+}
+
+// add folds a worker's private Result shard into the run total.
+func (r *Result) add(o Result) {
+	r.Scheduled += o.Scheduled
+	r.SATCalls += o.SATCalls
+	r.SATTime += o.SATTime
+	r.Proved += o.Proved
+	r.Disproved += o.Disproved
+	r.Unresolved += o.Unresolved
+	r.CexVectors += o.CexVectors
+	r.Escalations += o.Escalations
+	r.BDDChecks += o.BDDChecks
+	r.BDDBlowups += o.BDDBlowups
+	r.SimChecks += o.SimChecks
+	r.Conflicts += o.Conflicts
+	r.Propagations += o.Propagations
+	r.WorkerPanics += o.WorkerPanics
+	r.Requeued += o.Requeued
+	r.Retried += o.Retried
+	r.PoolFlushes += o.PoolFlushes
+	r.PoolLanes += o.PoolLanes
+	r.PoolDropped += o.PoolDropped
+	r.Steals += o.Steals
+	r.BatchMerges += o.BatchMerges
+	r.StripeContention += o.StripeContention
+	r.Incomplete = r.Incomplete || o.Incomplete
+	r.TimedOut = r.TimedOut || o.TimedOut
 }
 
 func (r Result) String() string {
@@ -232,6 +265,12 @@ func (r Result) String() string {
 	}
 	if r.PoolDropped > 0 {
 		fmt.Fprintf(&b, " pooldropped=%d", r.PoolDropped)
+	}
+	if r.Steals > 0 || r.BatchMerges > 0 {
+		fmt.Fprintf(&b, " steals=%d batchmerges=%d", r.Steals, r.BatchMerges)
+	}
+	if r.StripeContention > 0 {
+		fmt.Fprintf(&b, " stripecontention=%d", r.StripeContention)
 	}
 	if r.TimedOut {
 		b.WriteString(" (timed out)")

@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"simgen/internal/network"
+)
+
+// unionFind tracks proven-equivalence representatives for every engine —
+// the single replacement for the chain-walking repOf maps the SAT, BDD,
+// and parallel sweepers used to duplicate. Merges always direct the
+// removed member at the surviving class representative (the class's
+// smallest node id, stable across refinement), so roots are deterministic
+// regardless of worker count.
+//
+// The structure is goroutine-safe and striped for parallel sweeps: finds
+// are entirely lock-free (atomic parent loads, with path compression as
+// plain atomic stores — a compressed link only ever replaces one in-set
+// ancestor with another, so racing finds cannot corrupt the forest), and
+// unions serialize on a small array of stripe locks keyed by a hash of the
+// two roots rather than on one global mutex. Cross-stripe unions take both
+// stripe locks in index order and re-validate the roots after locking;
+// when another worker moved a root meanwhile, the union backs off and
+// retries against fresh roots. The retry count is exposed so the scheduler
+// can surface stripe contention as an observable event.
+type unionFind struct {
+	parent []atomic.Int32 // parent[i] < 0 means i is a root
+	mus    [ufStripes]sync.Mutex
+}
+
+// ufStripes is the union lock stripe count; a power of two so the root
+// hash reduces with a mask. 32 stripes keep the false-sharing window
+// negligible at 16+ workers while the array stays a few cache lines.
+const ufStripes = 32
+
+func newUnionFind(n int) *unionFind {
+	parent := make([]atomic.Int32, n)
+	for i := range parent {
+		parent[i].Store(-1)
+	}
+	return &unionFind{parent: parent}
+}
+
+// stripe maps a root to its lock index. The hash is the SplitMix64-style
+// multiply used across the repo, so adjacent node ids (the common case:
+// classes are id-ordered) spread across stripes.
+func (u *unionFind) stripe(x network.NodeID) int {
+	h := uint64(x) * 0x9e3779b97f4a7c15
+	return int(h>>32) & (ufStripes - 1)
+}
+
+// find returns the root of x, compressing the walked path so deep merge
+// chains cost amortized O(1) on later lookups instead of a walk per query.
+// It is lock-free: concurrent unions can only re-parent roots, and a
+// compression store writes an ancestor of the walked node, which stays an
+// ancestor under any interleaving.
+func (u *unionFind) find(x network.NodeID) network.NodeID {
+	root := x
+	for {
+		p := u.parent[root].Load()
+		if p < 0 {
+			break
+		}
+		root = network.NodeID(p)
+	}
+	for x != root {
+		next := network.NodeID(u.parent[x].Load())
+		u.parent[x].Store(int32(root))
+		x = next
+	}
+	return root
+}
+
+// union merges m's set into rep's, reporting whether the operation
+// contended with concurrent unions (a stripe lock was already held, or the
+// optimistic root check failed and the union retried). Merges are always
+// rooted at rep's representative, keeping the merge forest deterministic
+// regardless of worker count or union order.
+func (u *unionFind) union(rep, m network.NodeID) (contended bool) {
+	for {
+		r := u.find(rep)
+		mr := u.find(m)
+		if r == mr {
+			return contended
+		}
+		s1, s2 := u.stripe(r), u.stripe(mr)
+		if s2 < s1 {
+			s1, s2 = s2, s1
+		}
+		if !u.mus[s1].TryLock() {
+			contended = true
+			u.mus[s1].Lock()
+		}
+		if s2 != s1 {
+			if !u.mus[s2].TryLock() {
+				contended = true
+				u.mus[s2].Lock()
+			}
+		}
+		// Re-validate under the locks: both nodes must still be roots, or
+		// another union raced us and the stripe keys no longer cover them.
+		ok := u.parent[r].Load() < 0 && u.parent[mr].Load() < 0
+		if ok {
+			u.parent[mr].Store(int32(r))
+		}
+		if s2 != s1 {
+			u.mus[s2].Unlock()
+		}
+		u.mus[s1].Unlock()
+		if ok {
+			return contended
+		}
+		contended = true
+	}
+}

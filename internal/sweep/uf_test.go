@@ -26,13 +26,13 @@ func TestUnionFindDeepChainCompresses(t *testing.T) {
 		t.Fatalf("find(0) = %d, want %d", got, n-1)
 	}
 	for i := 0; i < n-1; i++ {
-		if u.parent[i] != n-1 {
+		if p := u.parent[i].Load(); p != n-1 {
 			t.Fatalf("node %d still points at %d after compression, want direct link to %d",
-				i, u.parent[i], n-1)
+				i, p, n-1)
 		}
 	}
-	if u.parent[n-1] >= 0 {
-		t.Fatalf("root %d has parent %d, want none", n-1, u.parent[n-1])
+	if p := u.parent[n-1].Load(); p >= 0 {
+		t.Fatalf("root %d has parent %d, want none", n-1, p)
 	}
 }
 
@@ -85,6 +85,68 @@ func TestUnionFindConcurrentMerges(t *testing.T) {
 			if got := u.find(network.NodeID(i)); got != root {
 				t.Fatalf("pass %d: node %d has rep %d, want %d", pass, i, got, root)
 			}
+		}
+	}
+}
+
+// TestUnionFindConcurrentCrossStripeUnions drives randomized unions whose
+// endpoints live on different stripes (the TryLock + re-validate + retry
+// path of the striped union-find), from goroutines that deliberately merge
+// the same node pairs in opposite orders. The structure must stay
+// cycle-free (every find terminates), end in the expected number of
+// classes, and agree across repeated passes; -race covers the lock
+// discipline.
+func TestUnionFindConcurrentCrossStripeUnions(t *testing.T) {
+	const (
+		n          = 1 << 12
+		goroutines = 16
+		groups     = 32 // final class count: i belongs to class i%groups
+	)
+	u := newUnionFind(n)
+	// Every goroutine merges every (i, i+groups) link of every group, half
+	// of them with the arguments swapped: maximal overlap, both union
+	// directions, and endpoints i and i+groups that hash to unrelated
+	// stripes.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Deterministic per-goroutine shuffle of the merge order.
+			rng := uint64(g)*0x9e3779b97f4a7c15 + 1
+			for k := 0; k < n-groups; k++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				i := int(rng % uint64(n-groups))
+				a, b := network.NodeID(i), network.NodeID(i+groups)
+				if g%2 == 1 {
+					a, b = b, a
+				}
+				u.union(a, b)
+			}
+			// Sweep the remaining links so every chain is complete even if
+			// the random picks missed some.
+			for i := 0; i < n-groups; i++ {
+				u.union(network.NodeID(i%groups), network.NodeID(i+groups))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	roots := make(map[network.NodeID]bool)
+	reps := make([]network.NodeID, n)
+	for i := 0; i < n; i++ {
+		reps[i] = u.find(network.NodeID(i))
+		roots[reps[i]] = true
+	}
+	if len(roots) != groups {
+		t.Fatalf("got %d classes after concurrent cross-stripe unions, want %d", len(roots), groups)
+	}
+	for i := 0; i < n; i++ {
+		if got := u.find(network.NodeID(i)); got != reps[i] {
+			t.Fatalf("node %d: rep changed between passes: %d then %d", i, reps[i], got)
+		}
+		if want := reps[i%groups]; reps[i] != want {
+			t.Fatalf("node %d has rep %d, want its group rep %d", i, reps[i], want)
 		}
 	}
 }
