@@ -476,3 +476,32 @@ func TestMaxPairsMarksIncomplete(t *testing.T) {
 		t.Fatal("MaxPairs truncation misreported as a timeout")
 	}
 }
+
+// TestMaxPairsParallelTerminates guards the cutoff exit protocol: a worker
+// that hits the SAT-call budget leaves its unflushed pool and deque hints
+// behind, and a sibling parked on the idle condition variable must not
+// mistake that debris for in-flight work and sleep forever. The pre-fix
+// cutoff broadcast without an epoch bump (and without a cutoff re-check in
+// the park predicate) did exactly that, hanging the sweep's wg.Wait. Many
+// workers on tiny budgets maximize the parked-at-cutoff window; the
+// deadline converts a regression into a failure instead of a stuck suite.
+func TestMaxPairsParallelTerminates(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		net, run := benchClasses(t, "apex2", int64(i+1))
+		done := make(chan Result, 1)
+		go func() {
+			done <- New(net, run.Classes, Options{MaxPairs: i + 1}).RunParallel(8)
+		}()
+		select {
+		case res := <-done:
+			if !res.Incomplete {
+				t.Fatalf("MaxPairs=%d parallel sweep not marked incomplete", i+1)
+			}
+			if res.TimedOut {
+				t.Fatal("MaxPairs truncation misreported as a timeout")
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("parallel sweep hung after MaxPairs=%d cutoff", i+1)
+		}
+	}
+}

@@ -90,10 +90,14 @@ type scheduler struct {
 	// one that did not. enq dedups obligation hints by representative so
 	// the same class is never queued twice across deques. satCalls mirrors
 	// the per-shard SATCalls sum for the MaxPairs cutoff without a lock.
+	// inHand counts hints a worker popped or stole but has not yet claimed
+	// or dropped: such a hint lives in no deque, so without the counter the
+	// exit check could see a drained world while claimable work is in hand.
 	ws       []*workerState
 	enq      []atomic.Bool
 	epoch    uint64
 	satCalls atomic.Int64
+	inHand   atomic.Int32
 }
 
 // newScheduler builds a scheduler over the partition. simulator, when
@@ -153,6 +157,7 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 	s.snap = nil
 	s.ws = nil
 	s.satCalls.Store(0)
+	s.inHand.Store(0)
 	start := time.Now()
 	if workers <= 1 || s.factory == nil {
 		s.tr.Emit(obs.Event{Kind: obs.KindSweepStart, Workers: 1})
@@ -431,37 +436,57 @@ func (s *scheduler) next(ctx context.Context, wid int32) (obligation, bool) {
 // Termination follows the PR 6 fresh-state protocol, restated for
 // stealing: a worker exits only after (1) its own pool is flushed, (2) a
 // scan of fresh partition state enqueued nothing, and (3) no claim is
-// held, no counterexample is pending in any pool, and every deque is
-// empty. While (3) fails the worker parks on the condition variable,
-// keyed to the epoch counter so a wakeup that changed nothing goes back to
-// sleep. Every transition that can mint claimable work — a claim release,
-// a pool flush, a refill — bumps the epoch and broadcasts, so a parked
-// worker cannot miss the wakeup between its check and its sleep (both
-// happen under mu).
+// held, no counterexample is pending in any pool, no hint is in any
+// worker's hand, and every deque is empty. While (3) fails the worker
+// parks on the condition variable, keyed to the epoch counter so a wakeup
+// that changed nothing goes back to sleep. Every transition that can mint
+// claimable work — a claim release, a pool flush, a refill — bumps the
+// epoch and broadcasts, so a parked worker cannot miss the wakeup between
+// its check and its sleep (both happen under mu).
+//
+// The MaxPairs cutoff is the one exit that bypasses (1)–(3): the budget
+// exhausting is terminal and monotone, so the exiting worker bumps the
+// epoch to unpark siblings, the park predicate re-checks the cutoff before
+// every sleep, and leftover pools and deque hints are deliberately
+// abandoned to runParallel's final merge.
 func (s *scheduler) nextPar(ctx context.Context, w *workerState, wid int32) (obligation, bool) {
 	for {
 		if ctx.Err() != nil {
 			return obligation{}, false
 		}
-		if s.opts.MaxPairs > 0 && int(s.satCalls.Load()) >= s.opts.MaxPairs {
+		if s.cutoff() {
 			s.mu.Lock()
 			w.res.Incomplete = true
+			// Terminal state transition: without the epoch bump a sibling
+			// parked since the last real transition would wake from the
+			// broadcast, see this worker's abandoned pool or deque as work
+			// in flight, and sleep forever with no one left to wake it.
+			s.epoch++
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return obligation{}, false
 		}
-		if h, ok := w.dq.pop(); ok {
-			if ob, ok := s.claimHint(w, wid, h); ok {
+		// A popped or stolen hint lives in no deque until claimHint settles
+		// it; count it so siblings running the exit check keep treating it
+		// as work in flight instead of taking the clean-exit path and
+		// leaving the rest of the sweep to this one worker.
+		s.inHand.Add(1)
+		h, ok := w.dq.pop()
+		if !ok {
+			h, ok = s.stealWork(w, wid)
+		}
+		if ok {
+			ob, claimed := s.claimHint(w, wid, h)
+			// Decremented only after claimHint registered the claim (or
+			// released the hint's enq slot) under mu, so the work never
+			// vanishes from every predicate at once.
+			s.inHand.Add(-1)
+			if claimed {
 				return ob, true
 			}
 			continue
 		}
-		if h, ok := s.stealWork(w, wid); ok {
-			if ob, ok := s.claimHint(w, wid, h); ok {
-				return ob, true
-			}
-			continue
-		}
+		s.inHand.Add(-1)
 		// Every deque this worker can see is dry: enter the global phase.
 		s.mu.Lock()
 		if ctx.Err() != nil {
@@ -486,7 +511,7 @@ func (s *scheduler) nextPar(ctx context.Context, w *workerState, wid int32) (obl
 		}
 		if s.workInFlightLocked() {
 			e := s.epoch
-			for s.epoch == e && ctx.Err() == nil && s.workInFlightLocked() {
+			for s.epoch == e && ctx.Err() == nil && !s.cutoff() && s.workInFlightLocked() {
 				s.wait(wid)
 			}
 			s.mu.Unlock()
@@ -498,6 +523,14 @@ func (s *scheduler) nextPar(ctx context.Context, w *workerState, wid int32) (obl
 		s.mu.Unlock()
 		return obligation{}, false
 	}
+}
+
+// cutoff reports whether the MaxPairs SAT-call budget is exhausted. It is
+// monotone — satCalls only grows — so once a worker observes it, every
+// later check by any worker observes it too, which is what lets the
+// cutoff exit skip the usual drain-everything termination protocol.
+func (s *scheduler) cutoff() bool {
+	return s.opts.MaxPairs > 0 && int(s.satCalls.Load()) >= s.opts.MaxPairs
 }
 
 // claimHint validates one deque hint against fresh partition state and
@@ -602,11 +635,13 @@ func (s *scheduler) refillLocked(w *workerState, wid int32) int {
 
 // workInFlightLocked reports whether any in-flight state can still mint
 // claimable work: a held claim (its release may re-enqueue the class), a
-// pending counterexample in any pool (its flush may split classes), or a
-// non-empty deque (its owner or a thief will drain it). The caller holds
-// mu. Parked workers always have an empty deque and a flushed pool, so
-// any pending counterexample belongs to an active worker that will flush
-// it — parking on this predicate cannot deadlock.
+// pending counterexample in any pool (its flush may split classes), a
+// hint in a worker's hand (popped or stolen but not yet claimed — it is
+// in no deque during that window), or a non-empty deque (its owner or a
+// thief will drain it). The caller holds mu. Parked workers always have
+// an empty deque, a flushed pool, and no hint in hand, so any of those
+// belongs to an active worker that will settle it — parking on this
+// predicate cannot deadlock.
 func (s *scheduler) workInFlightLocked() bool {
 	if len(s.claimed) > 0 || s.pend.pairs.Load() > 0 {
 		return true
@@ -616,7 +651,12 @@ func (s *scheduler) workInFlightLocked() bool {
 			return true
 		}
 	}
-	return false
+	// Checked after the deques, not before: a hint is counted in hand
+	// before it leaves its deque, so a hint this scan missed in every
+	// deque is visible here (the deque locks order the loads), and it
+	// cannot be settled out of the counter while this caller holds mu —
+	// settling goes through claimHint, which needs mu.
+	return s.inHand.Load() > 0
 }
 
 // claimable reports whether a fresh partition scan holds any unclaimed

@@ -16,9 +16,10 @@ import (
 //
 // The structure is goroutine-safe and striped for parallel sweeps: finds
 // are entirely lock-free (atomic parent loads, with path compression as
-// plain atomic stores — a compressed link only ever replaces one in-set
-// ancestor with another, so racing finds cannot corrupt the forest), and
-// unions serialize on a small array of stripe locks keyed by a hash of the
+// CAS stores pinned to the exact links the walk observed — a link a
+// concurrent union or find moved meanwhile is left alone, so a stale walk
+// can never re-parent a fresher root under an older one), and unions
+// serialize on a small array of stripe locks keyed by a hash of the
 // two roots rather than on one global mutex. Cross-stripe unions take both
 // stripe locks in index order and re-validate the roots after locking;
 // when another worker moved a root meanwhile, the union backs off and
@@ -52,22 +53,33 @@ func (u *unionFind) stripe(x network.NodeID) int {
 
 // find returns the root of x, compressing the walked path so deep merge
 // chains cost amortized O(1) on later lookups instead of a walk per query.
-// It is lock-free: concurrent unions can only re-parent roots, and a
-// compression store writes an ancestor of the walked node, which stays an
-// ancestor under any interleaving.
+// It is lock-free. The walk records its path, and compression publishes
+// the walked root with a CAS over exactly the link the walk observed: a
+// link a concurrent union or find changed since is skipped rather than
+// overwritten. The CAS discipline is what keeps racing finds safe — an
+// unconditional store could chase a link another find compressed past a
+// root that a concurrent union re-parented meanwhile, writing the stale
+// root over the fresh one (a cycle) or walking onto a root's negative
+// parent and indexing out of bounds. A skipped CAS only costs the next
+// lookup a slightly longer walk; every link it leaves behind still points
+// at an ancestor.
 func (u *unionFind) find(x network.NodeID) network.NodeID {
+	// Steady-state paths are a handful of links; the fixed buffer keeps
+	// the common case allocation-free while first-touch deep chains spill.
+	var buf [32]network.NodeID
+	path := buf[:0]
 	root := x
 	for {
 		p := u.parent[root].Load()
 		if p < 0 {
 			break
 		}
+		path = append(path, root)
 		root = network.NodeID(p)
 	}
-	for x != root {
-		next := network.NodeID(u.parent[x].Load())
-		u.parent[x].Store(int32(root))
-		x = next
+	// path[len-1] already points directly at root; compress the rest.
+	for i := 0; i+1 < len(path); i++ {
+		u.parent[path[i]].CompareAndSwap(int32(path[i+1]), int32(root))
 	}
 	return root
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -147,6 +148,79 @@ func TestUnionFindConcurrentCrossStripeUnions(t *testing.T) {
 		}
 		if want := reps[i%groups]; reps[i] != want {
 			t.Fatalf("node %d has rep %d, want its group rep %d", i, reps[i], want)
+		}
+	}
+}
+
+// TestUnionFindFindRacesRootMoves drives finds over a deep chain while a
+// union goroutine keeps re-parenting the chain's current root under fresh
+// nodes — the interleaving where a find's walked root goes stale while its
+// compression pass is still running. The pre-fix unconditional compression
+// store could follow a link a racing find had already compressed past the
+// stale root, re-parent the fresh root under the old one (a cycle — every
+// later find spins forever) or step onto a root's negative parent and
+// panic indexing parent[-1]. With the CAS discipline every find must
+// terminate, agree across passes, and leave the forest cycle-free.
+func TestUnionFindFindRacesRootMoves(t *testing.T) {
+	const (
+		n       = 1 << 8
+		half    = n / 2
+		finders = 8
+		rounds  = 500
+	)
+	// The race needs finds preempted mid-compression; give the runtime
+	// enough Ps that the finders and the re-rooter genuinely overlap on
+	// multi-core machines instead of running to completion one at a time.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(finders + 1))
+	for round := 0; round < rounds; round++ {
+		u := newUnionFind(n)
+		// Deep chain 0 -> 1 -> ... -> half, built without compression, so
+		// the concurrent finds below have long paths to walk and compress.
+		for i := 0; i < half; i++ {
+			u.union(network.NodeID(i+1), network.NodeID(i))
+		}
+		// The stale-root window is the few microseconds while the first
+		// finds are still compressing the deep chain, so every goroutine
+		// spins on a start barrier: without it the re-rooter finishes all
+		// its unions before the finders are even scheduled and the phases
+		// never overlap.
+		var start sync.WaitGroup
+		start.Add(1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			// Re-root the class once per remaining node: each union parents
+			// the current root under j, invalidating every find that walked
+			// to the old root before the move.
+			for j := half + 1; j < n; j++ {
+				u.union(network.NodeID(j), network.NodeID(j-1))
+			}
+		}()
+		for g := 0; g < finders; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				start.Wait()
+				for pass := 0; pass < 4; pass++ {
+					for i := g; i < half; i += finders {
+						u.find(network.NodeID(i))
+					}
+				}
+			}(g)
+		}
+		start.Done()
+		wg.Wait()
+
+		root := u.find(0)
+		if root != n-1 {
+			t.Fatalf("round %d: final root = %d, want %d", round, root, n-1)
+		}
+		for i := 0; i < n; i++ {
+			if got := u.find(network.NodeID(i)); got != root {
+				t.Fatalf("round %d: node %d has rep %d, want %d", round, i, got, root)
+			}
 		}
 	}
 }
