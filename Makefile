@@ -105,8 +105,8 @@ bench-full:
 # counterexample pool, and end-to-end service throughput. BENCHCOUNT
 # repetitions give the gate stable medians.
 BENCHCOUNT ?= 5
-BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler|BenchmarkTracerOverhead|BenchmarkSweepdThroughput
-BENCHDIRS ?= ./internal/sim ./internal/sweep ./internal/sweepd
+BENCHES ?= BenchmarkSimulate|BenchmarkResimulate|BenchmarkRefine|BenchmarkPackVectors|BenchmarkSweepCexPool|BenchmarkObligationScheduler|BenchmarkTracerOverhead|BenchmarkSweepdThroughput|BenchmarkWarmSweep
+BENCHDIRS ?= ./internal/sim ./internal/sweep ./internal/sweepd .
 .PHONY: bench
 bench:
 	$(GO) test -run 'xxx' -bench '$(BENCHES)' -benchmem -count $(BENCHCOUNT) \
@@ -121,6 +121,34 @@ BENCHSCALE_COUNT ?= 3
 bench-scaling:
 	$(GO) test -run 'xxx' -bench 'BenchmarkParallelSweep' -benchmem \
 		-count $(BENCHSCALE_COUNT) -timeout 60m .
+
+# Cross-run cache contrast: the Table 2 subset swept cache-cold vs
+# cache-warm (root bench_test.go BenchmarkWarmSweep; the warm arm asserts
+# zero SAT calls). Medians feed results/BENCH_cache.json.
+.PHONY: bench-cache
+bench-cache:
+	$(GO) test -run 'xxx' -bench 'BenchmarkWarmSweep' -benchmem \
+		-count $(BENCHSCALE_COUNT) -timeout 30m .
+
+# Cross-run cache soak via the CLI: sweep two Table 2 circuits cold then
+# warm against one shared cache directory; the warm runs must be SAT-free
+# (calls=0) and reduce to byte-identical networks.
+CACHE_SOAK_DIR ?= /tmp/simgen_cache_soak
+.PHONY: cache-soak
+cache-soak:
+	$(GO) build -o $(CACHE_SOAK_DIR)/sweep ./cmd/sweep 2>/dev/null || \
+		{ rm -rf $(CACHE_SOAK_DIR) && mkdir -p $(CACHE_SOAK_DIR) && $(GO) build -o $(CACHE_SOAK_DIR)/sweep ./cmd/sweep; }
+	rm -rf $(CACHE_SOAK_DIR)/cache $(CACHE_SOAK_DIR)/*.blif $(CACHE_SOAK_DIR)/*.log
+	set -e; for b in cps pdc; do \
+		$(CACHE_SOAK_DIR)/sweep -method none -cache-dir $(CACHE_SOAK_DIR)/cache \
+			-reduce $(CACHE_SOAK_DIR)/$$b.cold.blif -benchmark $$b; \
+		$(CACHE_SOAK_DIR)/sweep -method none -cache-dir $(CACHE_SOAK_DIR)/cache \
+			-reduce $(CACHE_SOAK_DIR)/$$b.warm.blif -benchmark $$b \
+			| tee $(CACHE_SOAK_DIR)/$$b.warm.log; \
+		grep -q 'sweeping: calls=0 ' $(CACHE_SOAK_DIR)/$$b.warm.log; \
+		cmp $(CACHE_SOAK_DIR)/$$b.cold.blif $(CACHE_SOAK_DIR)/$$b.warm.blif; \
+	done
+	@echo "cache-soak: warm runs SAT-free with byte-identical reduced networks"
 
 # Regression gate: re-run the micro-benchmarks and fail when any median
 # time/op regressed >20% against the committed baseline.

@@ -34,6 +34,7 @@ func main() {
 		list       = flag.Bool("list", false, "list built-in benchmarks and exit")
 		engine     = flag.String("engine", "none", "sweep the refined classes afterwards: none|sat|bdd|portfolio")
 		dump       = flag.String("dump-patterns", "", "write all generated vectors to this pattern file")
+		cacheDir   = flag.String("cache-dir", "", "persistent verification cache: replay stored patterns first, record generated ones, and feed proofs to the final sweep")
 		replay     = flag.String("replay", "", "replay vectors from a pattern file instead of generating")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for generation (0 = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -53,9 +54,19 @@ func main() {
 		stopProf()
 		os.Exit(2)
 	}
-	// exit tears down the observability stack (writing the -report file)
-	// and profiler before leaving; os.Exit skips deferred calls.
+	// exit tears down the verification cache and observability stack
+	// (writing the journal compaction and -report file) and profiler
+	// before leaving; os.Exit skips deferred calls.
+	var cacheStore *simgen.ProofCache
 	exit := func(code int) {
+		if cacheStore != nil {
+			if err := cacheStore.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "simgen: cache close: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
 		if err := obsSetup.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
 			if code == 0 {
@@ -96,6 +107,22 @@ func main() {
 	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
 	fmt.Printf("initial classes: %d, cost: %d\n", run.Classes.NumClasses(), run.Classes.Cost())
 
+	var sess *simgen.CacheSession
+	if *cacheDir != "" {
+		cacheStore, err = simgen.OpenProofCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			exit(1)
+		}
+		if cacheStore.Recovered() {
+			fmt.Fprintln(os.Stderr, "simgen: cache journal was corrupt; starting cold (damaged journal kept as *.corrupt)")
+		}
+		sess = simgen.NewCacheSession(cacheStore, net, obsSetup.Tracer)
+		if batches := sess.Replay(ctx, run); batches > 0 {
+			fmt.Printf("cache: replayed %d pattern batches: cost %d\n", batches, run.Classes.Cost())
+		}
+	}
+
 	if *replay != "" {
 		if err := replayPatterns(net, run, *replay); err != nil {
 			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
@@ -113,9 +140,18 @@ func main() {
 	if *dump != "" {
 		src = &recordingSource{inner: src, sink: &dumped}
 	}
+	var generated [][]bool
+	if sess != nil {
+		src = &recordingSource{inner: src, sink: &generated}
+	}
 	completed := 0
 	for i := 0; i < *iterations; i++ {
+		before := run.Classes.NumClasses()
 		st, ok := run.StepContext(ctx, src, i)
+		if sess != nil && len(generated) > 0 {
+			sess.RecordPatterns(generated, run.Classes.NumClasses()-before)
+			generated = generated[:0]
+		}
 		if !ok {
 			break
 		}
@@ -131,7 +167,7 @@ func main() {
 	}
 	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
 	flushPatterns(*dump, dumped)
-	if err := finalSweep(ctx, net, run, *engine, obsSetup.Tracer); err != nil {
+	if err := finalSweep(ctx, net, run, *engine, obsSetup.Tracer, sess); err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
 		exit(2)
 	}
@@ -142,7 +178,7 @@ func main() {
 // engine, turning the generation run into an end-to-end sweep: the per-
 // iteration cost column above is exactly the worst-case number of proof
 // obligations this pass now discharges.
-func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string, tracer simgen.Tracer) error {
+func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string, tracer simgen.Tracer, sess *simgen.CacheSession) error {
 	if engine == "none" {
 		return nil
 	}
@@ -150,7 +186,11 @@ func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, en
 	if err != nil {
 		return err
 	}
-	sw := simgen.NewSweeper(net, run.Classes, simgen.SweepOptions{Engine: kind, Tracer: tracer})
+	opts := simgen.SweepOptions{Engine: kind, Tracer: tracer}
+	if sess != nil {
+		opts.Cache = sess
+	}
+	sw := simgen.NewSweeper(net, run.Classes, opts)
 	res := sw.RunContext(ctx)
 	fmt.Printf("%s sweep: %s\n", engine, res)
 	fmt.Printf("proved %d equivalences, disproved %d pairs, final cost %d\n",

@@ -6,6 +6,8 @@
 //	sweep [flags] circuit.blif          # sweep: prove/disprove node pairs
 //	sweep [flags] a.blif b.blif         # CEC: compare two circuits
 //	sweep [flags] -benchmark apex2      # sweep a built-in benchmark
+//	sweep -cache-dir d circuit.blif     # sweep with a persistent proof cache
+//	sweep -cache-dir d -base old.blif new.blif   # incremental re-sweep of an edit
 //
 // Exit codes: 0 success (sweep finished / circuits equivalent),
 // 1 verification failure (circuits inequivalent) or runtime error,
@@ -49,6 +51,8 @@ type config struct {
 	bddFallback bool
 	bddNodes    int
 	workers     int
+	cacheDir    string
+	basePath    string
 	tracer      simgen.Tracer
 }
 
@@ -71,6 +75,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd|portfolio")
 	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent verification cache directory (proofs, clause hints, patterns)")
+	flag.StringVar(&cfg.basePath, "base", "", "previous revision BLIF: sweep incrementally, scheduling only the diff's fanout (requires -cache-dir)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	obsFlags := obsflag.Register(flag.CommandLine)
@@ -171,20 +177,77 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 	if err != nil {
 		return exitFail, err
 	}
+	if cfg.basePath != "" && cfg.cacheDir == "" {
+		return exitUsage, fmt.Errorf("-base requires -cache-dir")
+	}
+
+	// Persistent verification cache: proofs and clause hints feed the
+	// prover; recorded patterns replay before guided simulation so a warm
+	// run rebuilds every split the previous run discovered.
+	var (
+		store *simgen.ProofCache
+		sess  *simgen.CacheSession
+	)
+	if cfg.cacheDir != "" {
+		store, err = simgen.OpenProofCache(cfg.cacheDir)
+		if err != nil {
+			return exitFail, err
+		}
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "sweep: cache close: %v\n", cerr)
+			}
+		}()
+		if store.Recovered() {
+			fmt.Fprintf(os.Stderr, "sweep: cache journal was corrupt; starting cold (damaged journal kept as *.corrupt)\n")
+		}
+		sess = simgen.NewCacheSession(store, net, cfg.tracer)
+	}
+
+	// Incremental mode: diff against the previous revision and restrict
+	// obligation scheduling to the transitive fanout of the changed nodes;
+	// everything outside the mask settles from the cache pre-pass.
+	var mask []bool
+	if cfg.basePath != "" {
+		baseNet, err := load(cfg.basePath)
+		if err != nil {
+			return exitFail, err
+		}
+		changed := simgen.DiffNetworks(baseNet, net)
+		mask = simgen.TFOMask(net, changed)
+		masked := 0
+		for _, in := range mask {
+			if in {
+				masked++
+			}
+		}
+		fmt.Printf("incremental: %d changed cones, %d of %d nodes in their fanout\n",
+			len(changed), masked, net.NumNodes())
+	}
 
 	run := simgen.NewRunner(net, cfg.randRounds, cfg.seed)
 	run.SetTracer(cfg.tracer)
 	fmt.Printf("circuit: %s (%s)\n", net.Name, net.Stats())
 	fmt.Printf("after random simulation: cost %d\n", run.Classes.Cost())
 
+	if sess != nil {
+		if batches := sess.Replay(ctx, run); batches > 0 {
+			fmt.Printf("cache: replayed %d pattern batches: cost %d\n", batches, run.Classes.Cost())
+		}
+	}
+
+	var src simgen.VectorSource
 	switch cfg.method {
 	case "simgen":
-		run.RunContext(ctx, simgen.NewGenerator(net, simgen.StrategySimGen, cfg.seed+1), cfg.iterations)
+		src = simgen.NewGenerator(net, simgen.StrategySimGen, cfg.seed+1)
 	case "revs":
-		run.RunContext(ctx, simgen.NewReverse(net, cfg.seed+1), cfg.iterations)
+		src = simgen.NewReverse(net, cfg.seed+1)
 	case "none":
 	default:
 		return exitUsage, fmt.Errorf("unknown method %q", cfg.method)
+	}
+	if src != nil {
+		runGuided(ctx, run, src, cfg.iterations, sess)
 	}
 	fmt.Printf("after guided simulation (%s): cost %d\n", cfg.method, run.Classes.Cost())
 
@@ -195,6 +258,10 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 		opts := cfg.sweepOptions()
 		if cfg.engine == "portfolio" {
 			opts.Engine = simgen.EnginePortfolio
+		}
+		if sess != nil {
+			opts.Cache = sess
+			opts.TFOMask = mask
 		}
 		sw := simgen.NewSweeper(net, run.Classes, opts)
 		var res simgen.SweepResult
@@ -213,6 +280,9 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 			code = exitUndecided
 		}
 	case "bdd":
+		if sess != nil {
+			fmt.Fprintln(os.Stderr, "sweep: note: the standalone BDD engine does not probe the proof cache; patterns were still replayed")
+		}
 		sw := simgen.NewBDDSweeper(net, run.Classes, 0)
 		sw.SetTracer(cfg.tracer)
 		res := sw.RunContext(ctx)
@@ -246,7 +316,51 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 		}
 		fmt.Printf("reduced network: %s -> %s (%s)\n", net.Stats(), merged.Stats(), cfg.reduce)
 	}
+	if store != nil {
+		eq, neq, clauses, pats, evicted := store.Counts()
+		fmt.Printf("cache: %d equal, %d differ, %d clause hints, %d patterns (%d evicted)\n",
+			eq, neq, clauses, pats, evicted)
+	}
 	return code, nil
+}
+
+// runGuided drives the guided-simulation iterations. With a cache session
+// it records each generated batch scored by the class splits it produced,
+// so warm runs replay the highest-value vectors first; the sweep itself
+// only records counterexample-pool lanes, and guided vectors that split a
+// class here would otherwise cost the next run a SAT call each.
+func runGuided(ctx context.Context, run *simgen.Runner, src simgen.VectorSource, iters int, sess *simgen.CacheSession) {
+	if sess == nil {
+		run.RunContext(ctx, src, iters)
+		return
+	}
+	cs := &captureSource{inner: src}
+	for i := 0; i < iters; i++ {
+		before := run.Classes.NumClasses()
+		_, ok := run.StepContext(ctx, cs, i)
+		if len(cs.batch) > 0 {
+			sess.RecordPatterns(cs.batch, run.Classes.NumClasses()-before)
+			cs.batch = cs.batch[:0]
+		}
+		if !ok {
+			break
+		}
+	}
+}
+
+// captureSource wraps a vector source, retaining a copy of each batch for
+// cache recording.
+type captureSource struct {
+	inner simgen.VectorSource
+	batch [][]bool
+}
+
+func (c *captureSource) Name() string { return c.inner.Name() }
+
+func (c *captureSource) NextBatch(classes *simgen.Classes, max int) [][]bool {
+	b := c.inner.NextBatch(classes, max)
+	c.batch = append(c.batch, b...)
+	return b
 }
 
 func runCEC(ctx context.Context, pathA, pathB string, cfg config) (int, error) {

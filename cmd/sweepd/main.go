@@ -39,6 +39,8 @@ func run() error {
 		timeout      = flag.Duration("timeout", 0, "default per-job wall-clock budget (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on per-job budgets (0 = no cap)")
 		dataDir      = flag.String("data", "", "root directory for path circuit refs (empty disables them)")
+		cacheDir     = flag.String("cache-dir", "", "persistent verification cache shared by all sweep/simgen jobs (empty disables)")
+		memo         = flag.Bool("memo", false, "memoize finished job results keyed on circuit contents + normalized spec")
 		drainBudget  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on the first signal")
 		cancelBudget = flag.Duration("cancel-timeout", 5*time.Second, "drain budget after canceling jobs")
 	)
@@ -60,6 +62,8 @@ func run() error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DataDir:        *dataDir,
+		CacheDir:       *cacheDir,
+		Memo:           *memo,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -33,6 +33,8 @@ type Collector struct {
 	steals    int // work-stealing batches moved between worker deques
 	contended int // union-find merges that hit stripe contention
 
+	cache CacheReport // verification-memory activity
+
 	escalations []int // count per rung (index rung-1)
 	bddBlowups  int
 
@@ -121,6 +123,16 @@ func (c *Collector) Emit(ev Event) {
 		c.pool.BatchMerges++
 	case KindStripeContention:
 		c.contended++
+	case KindCacheProbe:
+		c.cache.Probes++
+	case KindCacheHit:
+		c.cache.Hits++
+	case KindCacheMiss:
+		c.cache.Misses++
+	case KindCacheEvict:
+		c.cache.Evictions += int(ev.Dropped)
+	case KindCacheRevalidateFail:
+		c.cache.RevalidateFails++
 	case KindPoolFlush:
 		c.pool.Flushes++
 		c.pool.Lanes += int(ev.Lanes)
@@ -185,6 +197,17 @@ type PoolReport struct {
 	BatchMerges int `json:"batch_merges,omitempty"`
 }
 
+// CacheReport summarizes cross-run verification-memory activity. All
+// fields are zero (and the report section is omitted) when no cache is
+// attached.
+type CacheReport struct {
+	Probes          int `json:"probes"`
+	Hits            int `json:"hits"`
+	Misses          int `json:"misses"`
+	Evictions       int `json:"evictions"`
+	RevalidateFails int `json:"revalidate_fails"`
+}
+
 // GenReport summarizes the simulation runner and its vector source.
 type GenReport struct {
 	Batches      int           `json:"batches"`
@@ -210,6 +233,7 @@ type Report struct {
 	// StripeContention counts union-find merges that contended on a stripe
 	// lock — the explainability counter behind the scaling curve.
 	StripeContention int           `json:"stripe_contention,omitempty"`
+	Cache            CacheReport   `json:"cache"`
 	Pool             PoolReport    `json:"pool"`
 	Gen              GenReport     `json:"gen"`
 	ProveTime        time.Duration `json:"prove_time_ns"`
@@ -243,6 +267,7 @@ func (c *Collector) Report() Report {
 		BDDBlowups:       c.bddBlowups,
 		Perturbs:         c.perturbs,
 		StripeContention: c.contended,
+		Cache:            c.cache,
 		Pool:             c.pool,
 		Gen:              c.gen,
 		ProveTime:        c.proveTime,
@@ -291,6 +316,11 @@ func (r Report) Format() string {
 	if o.Steals > 0 || r.StripeContention > 0 || r.Pool.BatchMerges > 0 {
 		fmt.Fprintf(&b, "contention: %d steals, %d batch merges, %d contended unions\n",
 			o.Steals, r.Pool.BatchMerges, r.StripeContention)
+	}
+	if r.Cache.Probes > 0 || r.Cache.Evictions > 0 {
+		fmt.Fprintf(&b, "cache: %d probes = %d hits + %d misses (%d revalidation failures, %d evictions)\n",
+			r.Cache.Probes, r.Cache.Hits, r.Cache.Misses,
+			r.Cache.RevalidateFails, r.Cache.Evictions)
 	}
 	if len(r.Engines) > 0 {
 		fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %12s %12s\n",

@@ -117,6 +117,13 @@ func (t *JSONL) Emit(ev Event) {
 		b = appendField(b, "pairs", int64(ev.Pending))
 	case KindStripeContention:
 		b = appendPair(b, ev)
+	case KindCacheProbe, KindCacheMiss, KindCacheRevalidateFail:
+		b = appendPair(b, ev)
+	case KindCacheHit:
+		b = appendPair(b, ev)
+		b = appendVerdict(b, ev.Verdict)
+	case KindCacheEvict:
+		b = appendField(b, "dropped", int64(ev.Dropped))
 	case KindSimBatch:
 		b = appendField(b, "iter", int64(ev.Iter))
 		b = appendField(b, "vectors", int64(ev.Vectors))

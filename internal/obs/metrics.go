@@ -244,6 +244,11 @@ type MetricsTracer struct {
 	genConf     *Counter
 	conflicts   *Counter
 	props       *Counter
+	cacheProbes *Counter
+	cacheHits   *Counter
+	cacheMisses *Counter
+	cacheEvicts *Counter
+	cacheReval  *Counter
 	queueDepth  *Gauge
 	flushTime   *Histogram
 	batchTime   *Histogram
@@ -289,6 +294,11 @@ func NewMetricsTracer(m *Metrics) *MetricsTracer {
 		genConf:     m.Counter("gen.conflicts"),
 		conflicts:   m.Counter("sat.conflicts"),
 		props:       m.Counter("sat.propagations"),
+		cacheProbes: m.Counter("cache.probes"),
+		cacheHits:   m.Counter("cache.hits"),
+		cacheMisses: m.Counter("cache.misses"),
+		cacheEvicts: m.Counter("cache.evictions"),
+		cacheReval:  m.Counter("cache.revalidate_fails"),
 		queueDepth:  m.Gauge("sweep.queue_depth"),
 		flushTime:   m.Histogram("pool.flush_time"),
 		batchTime:   m.Histogram("sim.batch_time"),
@@ -364,6 +374,16 @@ func (t *MetricsTracer) Emit(ev Event) {
 		t.batchMerges.Add(1)
 	case KindStripeContention:
 		t.contention.Add(1)
+	case KindCacheProbe:
+		t.cacheProbes.Add(1)
+	case KindCacheHit:
+		t.cacheHits.Add(1)
+	case KindCacheMiss:
+		t.cacheMisses.Add(1)
+	case KindCacheEvict:
+		t.cacheEvicts.Add(int64(ev.Dropped))
+	case KindCacheRevalidateFail:
+		t.cacheReval.Add(1)
 	case KindPoolFlush:
 		t.poolFlushes.Add(1)
 		t.poolLanes.Add(int64(ev.Lanes))

@@ -102,6 +102,22 @@ const (
 	// stripe lock or retried its optimistic root check (Worker, A, B).
 	// Parallel runs only.
 	KindStripeContention
+	// KindCacheProbe records a verification-memory lookup for a candidate
+	// pair (A, B). Cache-enabled runs only — a run without a cache
+	// attached emits none of the cache kinds.
+	KindCacheProbe
+	// KindCacheHit records a probe answered from the cache after
+	// revalidation (A, B, Verdict).
+	KindCacheHit
+	// KindCacheMiss records a probe with no usable record (A, B).
+	KindCacheMiss
+	// KindCacheEvict records cache records taken out of service
+	// (Dropped=records), by a failed revalidation, a detected key
+	// collision, or pattern-pool pressure.
+	KindCacheEvict
+	// KindCacheRevalidateFail records a cache record that matched the key
+	// but was rejected by revalidation against the current network (A, B).
+	KindCacheRevalidateFail
 
 	numKinds
 )
@@ -123,6 +139,12 @@ var kindNames = [numKinds]string{
 	KindSteal:            "steal",
 	KindBatchMerge:       "batch_merge",
 	KindStripeContention: "stripe_contention",
+
+	KindCacheProbe:          "cache_probe",
+	KindCacheHit:            "cache_hit",
+	KindCacheMiss:           "cache_miss",
+	KindCacheEvict:          "cache_evict",
+	KindCacheRevalidateFail: "cache_revalidate_fail",
 }
 
 func (k Kind) String() string {

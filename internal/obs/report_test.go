@@ -12,10 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"context"
+
 	"simgen/internal/core"
 	"simgen/internal/genbench"
 	"simgen/internal/network"
 	"simgen/internal/obs"
+	"simgen/internal/pcache"
 	"simgen/internal/sweep"
 )
 
@@ -166,6 +169,20 @@ func TestReportMatchesResult(t *testing.T) {
 					t.Errorf("final cost: report %d, result %d", rep.FinalCost, res.FinalCost)
 				}
 
+				// Cache counters: the event-derived report view must agree
+				// with the Result, and a cache-off run must report zero
+				// cache activity everywhere (the cache is pay-for-play).
+				if rep.Cache.Probes != res.CacheProbes || rep.Cache.Hits != res.CacheHits ||
+					rep.Cache.Misses != res.CacheMisses || rep.Cache.RevalidateFails != res.CacheRevalFails {
+					t.Errorf("cache counters: report %+v, result probes=%d hits=%d misses=%d revalfails=%d",
+						rep.Cache, res.CacheProbes, res.CacheHits, res.CacheMisses, res.CacheRevalFails)
+				}
+				if res.CacheProbes != 0 || res.CacheHits != 0 || res.CacheMisses != 0 ||
+					res.CacheRevalFails != 0 || res.CacheMerged != 0 || res.CacheSkipped != 0 ||
+					rep.Cache.Evictions != 0 {
+					t.Errorf("cache-off run reported cache activity: result %+v report %+v", res, rep.Cache)
+				}
+
 				// Time attribution: prove time is the same sum the sweeper
 				// reports, and cannot exceed the workers' combined wall time.
 				if rep.ProveTime != res.SATTime {
@@ -243,6 +260,58 @@ func TestReportDegradationAccounting(t *testing.T) {
 	}
 	if got := col.Report().Perturbs; got != 1 {
 		t.Errorf("perturbs = %d, want 1", got)
+	}
+}
+
+// TestReportCacheSection runs the sweep with a verification cache
+// attached and pins the report's cache section against the Result's
+// cache counters — the same two-views-must-agree property the rest of
+// the report is held to.
+func TestReportCacheSection(t *testing.T) {
+	dir := t.TempDir()
+
+	// Cold run fills the cache (uninstrumented).
+	netC := benchNetwork(t, "alu4")
+	runC := core.NewRunner(netC, 1, reportSeed)
+	stC, err := pcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessC := pcache.NewSession(stC, netC, nil)
+	sweep.New(netC, runC.Classes, sweep.Options{Engine: sweep.EnginePortfolio, Cache: sessC}).Run()
+	if err := stC.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm run under the collector, cache events included.
+	netW := benchNetwork(t, "alu4")
+	runW := core.NewRunner(netW, 1, reportSeed)
+	stW, err := pcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stW.Close()
+	col := obs.NewCollector()
+	sessW := pcache.NewSession(stW, netW, col)
+	sessW.Replay(context.Background(), runW)
+	res := sweep.New(netW, runW.Classes, sweep.Options{
+		Engine: sweep.EnginePortfolio,
+		Tracer: col,
+		Cache:  sessW,
+	}).Run()
+	rep := col.Report()
+
+	if rep.Cache.Probes == 0 {
+		t.Fatal("warm cached run reported no cache probes")
+	}
+	if rep.Cache.Probes != res.CacheProbes || rep.Cache.Hits != res.CacheHits ||
+		rep.Cache.Misses != res.CacheMisses || rep.Cache.RevalidateFails != res.CacheRevalFails {
+		t.Errorf("cache counters: report %+v, result probes=%d hits=%d misses=%d revalfails=%d",
+			rep.Cache, res.CacheProbes, res.CacheHits, res.CacheMisses, res.CacheRevalFails)
+	}
+	if rep.Cache.Probes != rep.Cache.Hits+rep.Cache.Misses {
+		t.Errorf("probe balance broken: %d probes != %d hits + %d misses",
+			rep.Cache.Probes, rep.Cache.Hits, rep.Cache.Misses)
 	}
 }
 

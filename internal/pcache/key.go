@@ -1,0 +1,255 @@
+package pcache
+
+import (
+	"simgen/internal/network"
+	"simgen/internal/tt"
+)
+
+// Structural keys identify a node by the shape of its fanin cone rather
+// than by its id or name, so a proof recorded in one run can be found
+// again in a later run — or a later edit of the same circuit — as long as
+// the cone itself is unchanged. A key folds together, bottom-up:
+//
+//   - for a PI: its ordinal position in the network's PI list (ids and
+//     names may be renumbered between runs; the PI order is the circuit's
+//     external interface and is what counterexamples are expressed over),
+//   - for a constant: its value,
+//   - for a LUT of up to 5 inputs: the NPN-canonical form of its local
+//     function (tt.NPNCanon) with the fanin keys routed through the
+//     canonizing permutation and tagged with their negation bits — two
+//     cones that differ only in the NPN representative chosen for an
+//     internal LUT hash identically,
+//   - for a wider LUT (NPNCanon is exhaustive and capped at 5 variables):
+//     the raw truth table with the fanin keys in fanin order.
+//
+// Keys are 64-bit hashes, so distinct cones can collide; the cache
+// therefore never trusts a key match alone. Every node also gets a second
+// hash over the same structure under independent seeds (the check hash),
+// and every hit is semantically revalidated against the current network
+// before it is allowed to merge anything (see Session.Probe).
+
+// Hash seeds separating node kinds; arbitrary odd constants. The alt*
+// seeds drive the independent check hash.
+const (
+	seedPI    = 0x9ae16a3b2f90404f
+	seedConst = 0xc2b2ae3d27d4eb4f
+	seedLUT   = 0x165667b19e3779f9
+	seedWide  = 0x27d4eb2f165667c5
+	seedNeg   = 0x9e6d62d06f6a9a9b
+
+	altPI    = 0xff51afd7ed558ccd
+	altConst = 0xc4ceb9fe1a85ec53
+	altLUT   = 0x87c37b91114253d5
+	altWide  = 0x4cf5ad432745937f
+	altNeg   = 0x52dce729d96d1ecb
+	altPair  = 0x38495ab5e8f0db61
+)
+
+// mix64 is the SplitMix64 finalizer: a cheap full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fold absorbs one value into a running hash.
+func fold(h, v uint64) uint64 {
+	return mix64(h ^ (v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)))
+}
+
+// nodeHash is a node's primary key plus its independent check hash.
+type nodeHash struct {
+	key uint64
+	chk uint64
+}
+
+// Keyer computes and memoizes structural keys for one network. It is not
+// goroutine-safe; the Session serializes access.
+type Keyer struct {
+	net   *network.Network
+	keys  []nodeHash
+	done  []bool
+	piOrd map[network.NodeID]int
+}
+
+// NewKeyer creates a keyer over net.
+func NewKeyer(net *network.Network) *Keyer {
+	k := &Keyer{
+		net:   net,
+		keys:  make([]nodeHash, net.NumNodes()),
+		done:  make([]bool, net.NumNodes()),
+		piOrd: make(map[network.NodeID]int, net.NumPIs()),
+	}
+	for i, pi := range net.PIs() {
+		k.piOrd[pi] = i
+	}
+	return k
+}
+
+// NodeKey returns the structural key of id's fanin cone. FaninCone is
+// topological with id last, so every fanin key is ready when needed.
+func (k *Keyer) NodeKey(id network.NodeID) uint64 {
+	return k.nodeHash(id).key
+}
+
+func (k *Keyer) nodeHash(id network.NodeID) nodeHash {
+	if k.done[id] {
+		return k.keys[id]
+	}
+	for _, n := range k.net.FaninCone(id) {
+		if !k.done[n] {
+			k.keys[n] = k.compute(n)
+			k.done[n] = true
+		}
+	}
+	return k.keys[id]
+}
+
+func (k *Keyer) compute(id network.NodeID) nodeHash {
+	nd := k.net.Node(id)
+	switch nd.Kind {
+	case network.KindPI:
+		ord := uint64(k.piOrd[id])
+		return nodeHash{fold(seedPI, ord), fold(altPI, ord)}
+	case network.KindConst:
+		v := uint64(0)
+		if nd.Func.IsConst1() {
+			v = 1
+		}
+		return nodeHash{fold(seedConst, v), fold(altConst, v)}
+	}
+	n := len(nd.Fanins)
+	if n <= 5 && nd.Func.NumVars() == n {
+		canon, tr := tt.NPNCanon(nd.Func)
+		h := nodeHash{fold(seedLUT, uint64(n)), fold(altLUT, uint64(n))}
+		for _, w := range canon.Words() {
+			h.key, h.chk = fold(h.key, w), fold(h.chk, w)
+		}
+		// Fold the fanin keys in canonical slot order: canonical position p
+		// reads original input tr.Perm[p] (Table.Permute routes new variable
+		// ni to old variable perm[ni]), complemented when the canonizing
+		// transform negates that original input. Slots the canonical table
+		// is symmetric in are interchangeable — the canonizer's choice
+		// between them is arbitrary — so their hashes are sorted before
+		// folding.
+		sv := make([]nodeHash, n)
+		for p, i := range tr.Perm {
+			fh := k.keys[nd.Fanins[i]]
+			if tr.InputNeg>>uint(i)&1 == 1 {
+				fh.key = mix64(fh.key ^ seedNeg)
+				fh.chk = mix64(fh.chk ^ altNeg)
+			}
+			sv[p] = fh
+		}
+		symSort(canon, sv)
+		for _, s := range sv {
+			h.key, h.chk = fold(h.key, s.key), fold(h.chk, s.chk)
+		}
+		if tr.OutputNeg {
+			h.key, h.chk = fold(h.key, 1), fold(h.chk, 1)
+		}
+		return h
+	}
+	// Wide LUT: plain structural hash, no NPN invariance.
+	h := nodeHash{fold(seedWide, uint64(n)), fold(altWide, uint64(n))}
+	for _, w := range nd.Func.Words() {
+		h.key, h.chk = fold(h.key, w), fold(h.chk, w)
+	}
+	for _, f := range nd.Fanins {
+		fh := k.keys[f]
+		h.key, h.chk = fold(h.key, fh.key), fold(h.chk, fh.chk)
+	}
+	return h
+}
+
+// symSort sorts slot hashes within groups of mutually symmetric canonical
+// inputs. When the canonical table is invariant under swapping two
+// positions (AND, OR, majority, ... — most common LUT functions), the
+// canonizing transform's choice of which fanin lands in which of those
+// slots is arbitrary, and a position-sensitive fold would key
+// NPN-equivalent cones apart. Swap-symmetry is transitive, so the
+// positions partition into classes; hashes are sorted within each class.
+// (Negation-coupled symmetries are not normalized — a best-effort miss
+// there costs a cache miss, never soundness.)
+func symSort(canon tt.Table, sv []nodeHash) {
+	n := len(sv)
+	if n < 2 {
+		return
+	}
+	cls := make([]int, n)
+	for i := range cls {
+		cls[i] = i
+	}
+	find := func(x int) int {
+		for cls[x] != x {
+			x = cls[x]
+		}
+		return x
+	}
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			for p := range perm {
+				perm[p] = p
+			}
+			perm[i], perm[j] = j, i
+			if tablesEqual(canon.Permute(perm), canon) {
+				cls[find(j)] = find(i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		if root != i {
+			continue
+		}
+		// Insertion-sort the class members' hashes across their positions.
+		var ps []int
+		for p := i; p < n; p++ {
+			if find(p) == root {
+				ps = append(ps, p)
+			}
+		}
+		for a := 1; a < len(ps); a++ {
+			for b := a; b > 0; b-- {
+				x, y := ps[b-1], ps[b]
+				if sv[x].key < sv[y].key || (sv[x].key == sv[y].key && sv[x].chk <= sv[y].chk) {
+					break
+				}
+				sv[x], sv[y] = sv[y], sv[x]
+			}
+		}
+	}
+}
+
+func tablesEqual(a, b tt.Table) bool {
+	aw, bw := a.Words(), b.Words()
+	if len(aw) != len(bw) {
+		return false
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pairKey returns the order-independent key pair of the two cones plus the
+// check hash records carry against key collisions. The check hash folds
+// the two independent per-node check hashes in the same sorted order, so
+// two cone pairs that collide on (ka, kb) still disagree on chk unless
+// both 64-bit hash families collide at once.
+func (k *Keyer) pairKey(a, b network.NodeID) (ka, kb, chk uint64) {
+	ha, hb := k.nodeHash(a), k.nodeHash(b)
+	if ha.key > hb.key || (ha.key == hb.key && ha.chk > hb.chk) {
+		ha, hb = hb, ha
+	}
+	return ha.key, hb.key, fold(fold(altPair, ha.chk), hb.chk)
+}

@@ -45,9 +45,10 @@ type Portfolio struct {
 	policy Policy
 	tr     obs.Tracer
 
-	sim *Sim // nil when disabled
-	sat *SAT
-	bdd *BDD // built lazily on first fallback
+	sim    *Sim   // nil when disabled
+	sat    *SAT
+	bdd    *BDD   // built lazily on first fallback
+	prober Prober // cross-run verification memory; nil when disabled
 }
 
 // NewPortfolio creates a portfolio over the network. hook injects test
@@ -78,13 +79,44 @@ func (p *Portfolio) SetTracer(t obs.Tracer) {
 	}
 }
 
+// SetProber attaches the cross-run verification memory as rung 0 of the
+// schedule: every Prove consults it before any engine runs, and settled
+// verdicts are recorded back. nil detaches it.
+func (p *Portfolio) SetProber(pr Prober) { p.prober = pr }
+
 // Prove implements Engine by running the schedule until a stage decides.
 func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budget) Result {
 	var agg Stats
+	if p.prober != nil {
+		cp := p.prober.Probe(ctx, a, b)
+		agg.CacheProbes++
+		if cp.RevalFailed {
+			agg.CacheRevalFails++
+		}
+		if cp.Hit {
+			agg.CacheHits++
+			return Result{Verdict: cp.Verdict, Cex: cp.Cex, Stats: agg}
+		}
+		agg.CacheMisses++
+		// A recorded solver hint pre-scales the starting budget to the
+		// rung that settled the pair last time. This is a hint, not an
+		// escalation: no rung events, no Escalations accounting — the
+		// ladder below runs unchanged, just better funded.
+		if hint := cp.StartRung; hint > 0 {
+			if hint > p.policy.MaxEscalations {
+				hint = p.policy.MaxEscalations
+			}
+			factor := p.policy.factor()
+			for i := 0; i < hint; i++ {
+				budget = budget.scale(factor)
+			}
+		}
+	}
 	if p.sim != nil {
 		r := p.sim.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
 		if r.Verdict != Unknown {
+			p.record(a, b, r, 0)
 			r.Stats = agg
 			return r
 		}
@@ -100,6 +132,7 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 		r := p.sat.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
 		if r.Verdict != Unknown {
+			p.record(a, b, r, rung)
 			r.Stats = agg
 			return r
 		}
@@ -116,10 +149,23 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 		}
 		r := p.bdd.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
+		if r.Verdict != Unknown {
+			p.record(a, b, r, p.policy.MaxEscalations)
+			r.Stats = agg
+			return r
+		}
 		r.Stats = agg
 		return r
 	}
 	return Result{Stats: agg}
+}
+
+// record stores a settled verdict back into the verification memory.
+func (p *Portfolio) record(a, b network.NodeID, r Result, rung int) {
+	if p.prober == nil {
+		return
+	}
+	p.prober.RecordProof(a, b, r.Verdict, r.Cex, rung)
 }
 
 // Learn implements Engine by teaching the SAT stage; the other stages are

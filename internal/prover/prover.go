@@ -67,6 +67,12 @@ type Stats struct {
 	Conflicts    int64         // SAT conflicts spent
 	Propagations int64         // SAT unit propagations spent
 	Time         time.Duration // cumulative engine wall time
+
+	// Verification-memory accounting (zero unless a Prober is attached).
+	CacheProbes     int // cache lookups performed
+	CacheHits       int // lookups answered from the cache (after revalidation)
+	CacheMisses     int // lookups with no usable record
+	CacheRevalFails int // records rejected by revalidation and evicted
 }
 
 // Add accumulates o into s.
@@ -79,6 +85,10 @@ func (s *Stats) Add(o Stats) {
 	s.Conflicts += o.Conflicts
 	s.Propagations += o.Propagations
 	s.Time += o.Time
+	s.CacheProbes += o.CacheProbes
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheRevalFails += o.CacheRevalFails
 }
 
 // Result is the outcome of one Prove call. Cex is a full primary-input
@@ -117,6 +127,38 @@ type Engine interface {
 	// start/verdict with budget spent, escalations, blow-ups) to t.
 	// Engines default to obs.Nop; passing nil restores it.
 	SetTracer(t obs.Tracer)
+}
+
+// CacheProbe is the outcome of one verification-memory lookup (see
+// Prober). A Hit carries a revalidated verdict the caller may use in
+// place of running any engine; a miss may still carry a StartRung hint
+// from a recorded solver record.
+type CacheProbe struct {
+	// Hit reports a usable, revalidated record.
+	Hit bool
+	// Verdict is the recorded verdict when Hit (never Unknown).
+	Verdict Verdict
+	// Cex is the recorded separating assignment when Verdict is Differ;
+	// replaying it is what revalidated the record, so it is exact.
+	Cex []bool
+	// StartRung is the escalation rung a recorded solver hint suggests
+	// starting from (0 when none): the pair needed that budget last time.
+	StartRung int
+	// RevalFailed reports that a record matched the key but failed
+	// revalidation and was evicted; the probe is a miss.
+	RevalFailed bool
+}
+
+// Prober is the engine-facing surface of the cross-run verification
+// memory (internal/pcache): rung 0 of the portfolio's escalation ladder.
+// Implementations must be goroutine-safe — one Prober is shared by every
+// worker's engine.
+type Prober interface {
+	// Probe looks the pair up and revalidates any record found.
+	Probe(ctx context.Context, a, b network.NodeID) CacheProbe
+	// RecordProof stores a settled verdict (Equal or Differ, with the
+	// separating assignment and the escalation rung that settled it).
+	RecordProof(a, b network.NodeID, v Verdict, cex []bool, rung int)
 }
 
 // Fault is a test-only injected failure, returned by a FaultHook to

@@ -62,6 +62,15 @@ type cexPool struct {
 
 	rot int // rotating start PI for distance-1 flips when NumPIs > 63
 
+	// keep retains a copy of every flushed lane (raw counterexamples and
+	// their amplified flips — each one a vector that refined the
+	// partition) in kept, for the verification cache's pattern recycling;
+	// the scheduler consumes kept after each flush. Replaying the full
+	// lane set is what lets a warm run rebuild every split the cold sweep
+	// discovered before any obligation is scheduled.
+	keep bool
+	kept [][]bool
+
 	flushes int // flushed batches (stats)
 	lanesIn int // total lanes simulated across flushes (stats)
 }
@@ -148,6 +157,15 @@ func (p *cexPool) empty() bool { return p.lanes == 0 }
 func (p *cexPool) flush() (dropped []pair) {
 	if p.lanes == 0 {
 		return nil
+	}
+	if p.keep {
+		for l := 0; l < p.lanes; l++ {
+			v := make([]bool, len(p.inputs))
+			for i := range p.inputs {
+				v[i] = p.inputs[i][0]>>uint(l)&1 == 1
+			}
+			p.kept = append(p.kept, v)
+		}
 	}
 	vals := p.sim.Simulate(p.inputs, 1)
 	p.classes.RefineN(vals, p.lanes)

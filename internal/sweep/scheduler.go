@@ -107,11 +107,21 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 	primary prover.Engine, factory func() prover.Engine, simulator *sim.Simulator) *scheduler {
 	tr := obs.OrNop(opts.Tracer)
 	primary.SetTracer(tr)
+	if opts.Cache != nil {
+		if ph, ok := primary.(interface{ SetProber(prover.Prober) }); ok {
+			ph.SetProber(opts.Cache)
+		}
+	}
 	if factory != nil {
 		inner := factory
 		factory = func() prover.Engine {
 			e := inner()
 			e.SetTracer(tr)
+			if opts.Cache != nil {
+				if ph, ok := e.(interface{ SetProber(prover.Prober) }); ok {
+					ph.SetProber(opts.Cache)
+				}
+			}
 			return e
 		}
 	}
@@ -131,6 +141,7 @@ func newScheduler(net *network.Network, classes *sim.Classes, opts Options,
 		retries: make(map[pair]int),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.pool.keep = opts.Cache != nil
 	return s
 }
 
@@ -159,6 +170,7 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 	s.satCalls.Store(0)
 	s.inHand.Store(0)
 	start := time.Now()
+	s.prePass(ctx)
 	if workers <= 1 || s.factory == nil {
 		s.tr.Emit(obs.Event{Kind: obs.KindSweepStart, Workers: 1})
 		func() {
@@ -195,6 +207,65 @@ func (s *scheduler) run(ctx context.Context, workers int) Result {
 	return s.res
 }
 
+// prePass is the incremental-mode pre-pass: when Options.TFOMask marks the
+// transitive fanout of a base-circuit diff and a cache is attached, every
+// candidate pair with both endpoints outside the mask is untouched logic
+// and is settled from the cache alone — an Equal hit merges immediately, a
+// Differ hit or a miss drops the member from its class — so the
+// obligations that reach the workers are exactly those touching the edit.
+// Soundness never rests on the mask: cache verdicts are revalidated
+// against the current network by the prober before they are acted on.
+// Runs single-threaded before any worker starts.
+func (s *scheduler) prePass(ctx context.Context) {
+	if s.opts.Cache == nil || len(s.opts.TFOMask) == 0 {
+		return
+	}
+	mask := s.opts.TFOMask
+	in := func(id network.NodeID) bool {
+		return int(id) < len(mask) && mask[id]
+	}
+	for _, ci := range s.classes.NonSingleton() {
+		members := s.classes.Members(ci)
+		if len(members) < 2 {
+			continue
+		}
+		rep := members[0]
+		if in(rep) {
+			// The representative is in the edit's fanout; every pair of this
+			// class touches it, so the whole class stays scheduled.
+			continue
+		}
+		for _, m := range members[1:] {
+			if in(m) {
+				continue
+			}
+			cp := s.opts.Cache.Probe(ctx, rep, m)
+			s.res.CacheProbes++
+			if cp.RevalFailed {
+				s.res.CacheRevalFails++
+			}
+			if cp.Hit {
+				s.res.CacheHits++
+				if cp.Verdict == prover.Equal {
+					if cm := s.classes.ClassOf(m); cm >= 0 && cm == s.classes.ClassOf(rep) {
+						s.uf.union(rep, m)
+						s.classes.Remove(m)
+					}
+					s.res.CacheMerged++
+					continue
+				}
+			} else {
+				s.res.CacheMisses++
+			}
+			// Differ hit or cache miss: outside the edit's fanout there is
+			// nothing new to prove, so the member leaves its class rather
+			// than becoming an obligation.
+			s.classes.Remove(m)
+			s.res.CacheSkipped++
+		}
+	}
+}
+
 // runParallel seeds the worker deques from the initial partition, runs the
 // workers to completion, merges every leftover private pool, and folds the
 // per-worker Result shards into the run total.
@@ -205,6 +276,7 @@ func (s *scheduler) runParallel(ctx context.Context, workers int) {
 		// Private pools share the sequential pool's simulator: flushes are
 		// serialized under mu, and amplification never touches it.
 		s.ws[i] = &workerState{pool: newCexPool(s.net, s.classes, s.pool.sim, s.pend)}
+		s.ws[i].pool.keep = s.opts.Cache != nil
 	}
 	// Seed the deques round-robin before any worker starts; claims
 	// re-validate against fresh state, so the seeding order is free to be
@@ -748,6 +820,10 @@ func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prov
 	s.res.BDDBlowups += st.BDDBlowups
 	s.res.Conflicts += st.Conflicts
 	s.res.Propagations += st.Propagations
+	s.res.CacheProbes += st.CacheProbes
+	s.res.CacheHits += st.CacheHits
+	s.res.CacheMisses += st.CacheMisses
+	s.res.CacheRevalFails += st.CacheRevalFails
 	if pr.Verdict == prover.Unknown && pr.Transient && ctx.Err() == nil {
 		// A transient (injected) engine failure is not budget exhaustion:
 		// requeue the pair for another attempt instead of resolving it.
@@ -811,6 +887,10 @@ func (s *scheduler) applyPar(ctx context.Context, w *workerState, wid int32, ob 
 	w.res.BDDBlowups += st.BDDBlowups
 	w.res.Conflicts += st.Conflicts
 	w.res.Propagations += st.Propagations
+	w.res.CacheProbes += st.CacheProbes
+	w.res.CacheHits += st.CacheHits
+	w.res.CacheMisses += st.CacheMisses
+	w.res.CacheRevalFails += st.CacheRevalFails
 	s.satCalls.Add(int64(st.SATCalls))
 	if pr.Verdict == prover.Unknown && pr.Transient && ctx.Err() == nil {
 		s.mu.Lock()
@@ -923,11 +1003,18 @@ func (s *scheduler) flushPoolOf(res *Result, p *cexPool, wid int32) {
 	res.PoolDropped += len(dropped)
 	res.PoolFlushes++
 	res.PoolLanes += lanes
+	splits := s.classes.NumClasses() - before
 	s.tr.Emit(obs.Event{Kind: obs.KindPoolFlush, Worker: wid,
 		Lanes:   int32(lanes),
-		Splits:  int32(s.classes.NumClasses() - before),
+		Splits:  int32(splits),
 		Dropped: int32(len(dropped)),
 		Dur:     time.Since(start)})
+	if s.opts.Cache != nil && len(p.kept) > 0 {
+		// Counterexamples that just split classes are exactly the vectors
+		// worth recycling next run; score them by this flush's split power.
+		s.opts.Cache.RecordPatterns(p.kept, splits)
+		p.kept = p.kept[:0]
+	}
 	// A flush reshapes the partition; parked workers must rescan.
 	s.epoch++
 	s.cond.Broadcast()

@@ -158,6 +158,32 @@ type Options struct {
 	// keeps the hot path allocation-free. Tracers must be goroutine-safe
 	// when sweeping with multiple workers.
 	Tracer obs.Tracer
+
+	// Cache attaches the cross-run verification memory (an
+	// internal/pcache Session). Engines that support it (the portfolio)
+	// probe it as rung 0 before running anything and record settled
+	// verdicts back; the scheduler records high-split-power patterns from
+	// counterexample-pool flushes. nil disables caching entirely — a
+	// cache-off run emits no cache events and behaves byte-identically to
+	// one built before the cache existed.
+	Cache Cache
+
+	// TFOMask, with Cache, enables the incremental pre-pass: candidate
+	// pairs with both endpoints outside the mask (indexed by NodeID; true
+	// marks the transitive fanout of a baseline diff) are settled from
+	// the cache alone — equal hits merge, everything else is skipped —
+	// and never become scheduled obligations. See pcache.Diff/TFOMask.
+	TFOMask []bool
+}
+
+// Cache is the scheduler-facing surface of the cross-run verification
+// memory. Implementations must be goroutine-safe; *pcache.Session is the
+// canonical one.
+type Cache interface {
+	prover.Prober
+	// RecordPatterns stores simulation vectors with their measured
+	// split-power score for recycled seeding in later runs.
+	RecordPatterns(vecs [][]bool, score int)
 }
 
 // policy translates the options into the portfolio's degradation schedule.
@@ -211,6 +237,14 @@ type Result struct {
 	Steals           int // hint batches stolen between worker deques
 	BatchMerges      int // private cex batches merged into the partition
 	StripeContention int // union-find merges that contended on a stripe lock
+
+	// Verification-memory counters (always zero without Options.Cache).
+	CacheProbes     int // cache lookups (engine rung-0 probes + pre-pass)
+	CacheHits       int // lookups answered from the cache after revalidation
+	CacheMisses     int // lookups with no usable record
+	CacheRevalFails int // records rejected by revalidation and evicted
+	CacheMerged     int // pairs merged by the incremental pre-pass, never scheduled
+	CacheSkipped    int // out-of-TFO pairs left unscheduled by the pre-pass
 }
 
 // add folds a worker's private Result shard into the run total.
@@ -237,6 +271,12 @@ func (r *Result) add(o Result) {
 	r.Steals += o.Steals
 	r.BatchMerges += o.BatchMerges
 	r.StripeContention += o.StripeContention
+	r.CacheProbes += o.CacheProbes
+	r.CacheHits += o.CacheHits
+	r.CacheMisses += o.CacheMisses
+	r.CacheRevalFails += o.CacheRevalFails
+	r.CacheMerged += o.CacheMerged
+	r.CacheSkipped += o.CacheSkipped
 	r.Incomplete = r.Incomplete || o.Incomplete
 	r.TimedOut = r.TimedOut || o.TimedOut
 }
@@ -271,6 +311,16 @@ func (r Result) String() string {
 	}
 	if r.StripeContention > 0 {
 		fmt.Fprintf(&b, " stripecontention=%d", r.StripeContention)
+	}
+	if r.CacheProbes > 0 || r.CacheMerged > 0 || r.CacheSkipped > 0 {
+		fmt.Fprintf(&b, " cacheprobes=%d cachehits=%d cachemisses=%d",
+			r.CacheProbes, r.CacheHits, r.CacheMisses)
+		if r.CacheRevalFails > 0 {
+			fmt.Fprintf(&b, " cacherevalfails=%d", r.CacheRevalFails)
+		}
+		if r.CacheMerged > 0 || r.CacheSkipped > 0 {
+			fmt.Fprintf(&b, " cachemerged=%d cacheskipped=%d", r.CacheMerged, r.CacheSkipped)
+		}
 	}
 	if r.TimedOut {
 		b.WriteString(" (timed out)")

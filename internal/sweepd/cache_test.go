@@ -1,0 +1,120 @@
+package sweepd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// waitDone blocks until the job is terminal, failing the test on timeout.
+func waitDone(t *testing.T, j *Job) *Result {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+	res, errMsg := j.Result()
+	if errMsg != "" {
+		t.Fatalf("job %s failed: %s", j.ID, errMsg)
+	}
+	if res == nil {
+		t.Fatalf("job %s finished without a result", j.ID)
+	}
+	return res
+}
+
+// TestSharedCacheAcrossJobs runs the same sweep job twice against a server
+// holding one process-wide verification cache: the second job must settle
+// every obligation from the first job's recorded proofs and patterns — zero
+// SAT and BDD prover calls — with identical verdict counts.
+func TestSharedCacheAcrossJobs(t *testing.T) {
+	srv := New(Config{Workers: 1, CacheDir: t.TempDir()})
+	defer srv.Drain(context.Background())
+
+	spec := JobSpec{
+		Kind:    KindSweep,
+		Circuit: CircuitRef{Benchmark: "cps"},
+		Method:  "none",
+		Seed:    11,
+	}
+	j1, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := waitDone(t, j1)
+	if cold.Sweep == nil || cold.Sweep.Proved == 0 {
+		t.Fatalf("cold job proved nothing: %+v", cold)
+	}
+
+	j2, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := waitDone(t, j2)
+	if warm.Memoized {
+		t.Fatal("memoization is off; result must come from a fresh execution")
+	}
+	if warm.Sweep == nil {
+		t.Fatal("warm job carries no sweep result")
+	}
+	if warm.Sweep.SATCalls != 0 || warm.Sweep.BDDChecks != 0 {
+		t.Fatalf("warm job not free of prover calls: SAT=%d BDD=%d (hits=%d misses=%d)",
+			warm.Sweep.SATCalls, warm.Sweep.BDDChecks, warm.Sweep.CacheHits, warm.Sweep.CacheMisses)
+	}
+	if warm.Sweep.CacheHits == 0 {
+		t.Fatal("warm job hit nothing in the shared cache")
+	}
+	if warm.Sweep.Proved != cold.Sweep.Proved {
+		t.Fatalf("warm Proved=%d, cold Proved=%d", warm.Sweep.Proved, cold.Sweep.Proved)
+	}
+}
+
+// TestJobMemoization submits an identical spec twice with Memo on: the
+// second job's result is served from the memo without execution, and a job
+// with a different spec is not.
+func TestJobMemoization(t *testing.T) {
+	srv := New(Config{Workers: 1, Memo: true})
+	defer srv.Drain(context.Background())
+
+	spec := JobSpec{
+		Kind:    KindSweep,
+		Circuit: CircuitRef{Benchmark: "alu4"},
+		Seed:    5,
+	}
+	first := waitDone(t, mustSubmit(t, srv, spec))
+	if first.Memoized {
+		t.Fatal("first execution cannot be a memo hit")
+	}
+	second := waitDone(t, mustSubmit(t, srv, spec))
+	if !second.Memoized {
+		t.Fatal("identical respec did not hit the memo")
+	}
+	if second.Verdict != first.Verdict || second.FinalCost != first.FinalCost {
+		t.Fatalf("memoized result diverges: %+v vs %+v", second, first)
+	}
+
+	other := spec
+	other.Seed = 6
+	third := waitDone(t, mustSubmit(t, srv, other))
+	if third.Memoized {
+		t.Fatal("different seed must not hit the memo")
+	}
+
+	// Traced jobs bypass the memo: their event stream must be generated.
+	traced := spec
+	traced.Trace = true
+	fourth := waitDone(t, mustSubmit(t, srv, traced))
+	if fourth.Memoized {
+		t.Fatal("traced job must not be memoized")
+	}
+}
+
+func mustSubmit(t *testing.T, srv *Server, spec JobSpec) *Job {
+	t.Helper()
+	j, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}

@@ -7,6 +7,8 @@ import (
 
 	"simgen/internal/core"
 	"simgen/internal/network"
+	"simgen/internal/pcache"
+	"simgen/internal/sim"
 	"simgen/internal/sweep"
 )
 
@@ -18,8 +20,19 @@ import (
 // scheduler sweeps — so a workers=1 deterministic job traces byte-identical
 // to a direct CLI run on the same seed, which the e2e parity suite pins.
 func Execute(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options) (*Result, error) {
+	return ExecuteCached(ctx, spec, loader, opts, nil)
+}
+
+// ExecuteCached is Execute with a persistent verification cache: sweep and
+// simgen jobs replay its stored patterns before guided refinement, probe
+// its proofs from the scheduler, and record what they learn for later
+// jobs. cache may be shared across concurrent jobs (the store is
+// internally locked); nil degrades to Execute. CEC jobs ignore the cache:
+// they sweep a combined two-circuit network whose node keys would collide
+// with the single-circuit runs' records only by construction, not intent.
+func ExecuteCached(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options, cache *pcache.Store) (*Result, error) {
 	start := time.Now()
-	res, err := execute(ctx, spec, loader, opts)
+	res, err := execute(ctx, spec, loader, opts, cache)
 	if res != nil {
 		res.Kind = spec.Kind
 		res.ElapsedMS = time.Since(start).Milliseconds()
@@ -27,12 +40,12 @@ func Execute(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Optio
 	return res, err
 }
 
-func execute(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options) (*Result, error) {
+func execute(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options, cache *pcache.Store) (*Result, error) {
 	switch spec.Kind {
 	case KindCEC:
 		return executeCEC(ctx, spec, loader, opts)
 	case KindSweep, KindSimGen:
-		return executeSweep(ctx, spec, loader, opts)
+		return executeSweep(ctx, spec, loader, opts, cache)
 	default:
 		return nil, fmt.Errorf("sweepd: unknown job kind %q", spec.Kind)
 	}
@@ -56,18 +69,25 @@ func guidedSource(net *network.Network, spec JobSpec) core.VectorSource {
 
 // executeSweep handles the sweep and simgen kinds: both run the simulation
 // front half; sweep jobs then drain the obligation scheduler.
-func executeSweep(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options) (*Result, error) {
+func executeSweep(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options, cache *pcache.Store) (*Result, error) {
 	net, err := loader.Load(spec.Circuit)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Circuit: net.Stats().String()}
 
+	var sess *pcache.Session
+	if cache != nil {
+		sess = pcache.NewSession(cache, net, opts.Tracer)
+	}
 	run := core.NewRunner(net, spec.RandRounds, spec.Seed)
 	run.SetTracer(opts.Tracer)
 	res.InitialCost = run.Classes.Cost()
+	if sess != nil {
+		sess.Replay(ctx, run)
+	}
 	if src := guidedSource(net, spec); src != nil {
-		run.RunContext(ctx, src, spec.Iterations)
+		runGuided(ctx, run, src, spec.Iterations, sess)
 	}
 	res.GuidedCost = run.Classes.Cost()
 	res.FinalCost = res.GuidedCost
@@ -77,6 +97,9 @@ func executeSweep(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.
 		return res, nil
 	}
 
+	if sess != nil {
+		opts.Cache = sess
+	}
 	sw := sweep.New(net, run.Classes, opts)
 	sr := sw.RunParallelContext(ctx, spec.Workers)
 	res.Sweep = &sr
@@ -87,6 +110,43 @@ func executeSweep(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.
 		res.Verdict = "swept"
 	}
 	return res, nil
+}
+
+// runGuided drives the guided iterations, recording each generated batch
+// into the cache session (scored by the class splits it produced) so later
+// jobs on the same circuit replay the strongest vectors first.
+func runGuided(ctx context.Context, run *core.Runner, src core.VectorSource, iters int, sess *pcache.Session) {
+	if sess == nil {
+		run.RunContext(ctx, src, iters)
+		return
+	}
+	cs := &captureSource{inner: src}
+	for i := 0; i < iters; i++ {
+		before := run.Classes.NumClasses()
+		_, ok := run.StepContext(ctx, cs, i)
+		if len(cs.batch) > 0 {
+			sess.RecordPatterns(cs.batch, run.Classes.NumClasses()-before)
+			cs.batch = cs.batch[:0]
+		}
+		if !ok {
+			break
+		}
+	}
+}
+
+// captureSource wraps a vector source, retaining a copy of each batch for
+// cache recording.
+type captureSource struct {
+	inner core.VectorSource
+	batch [][]bool
+}
+
+func (c *captureSource) Name() string { return c.inner.Name() }
+
+func (c *captureSource) NextBatch(classes *sim.Classes, max int) [][]bool {
+	b := c.inner.NextBatch(classes, max)
+	c.batch = append(c.batch, b...)
+	return b
 }
 
 func executeCEC(ctx context.Context, spec JobSpec, loader *Loader, opts sweep.Options) (*Result, error) {

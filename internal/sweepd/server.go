@@ -2,16 +2,20 @@ package sweepd
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"simgen/internal/obs"
+	"simgen/internal/pcache"
 	"simgen/internal/sweep"
 )
 
@@ -40,6 +44,17 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// DataDir roots JobSpec path circuits; "" disables them.
 	DataDir string
+	// CacheDir, when set, opens one persistent verification cache
+	// (internal/pcache) shared by every sweep and simgen job the process
+	// runs: proofs, clause hints, and simulation patterns learned by one
+	// job accelerate the next. An unopenable cache is logged and skipped;
+	// the service runs uncached.
+	CacheDir string
+	// Memo enables job-level result memoization: a sweep/simgen/cec job
+	// whose normalized spec and circuit contents match an already-finished
+	// job returns that job's result without executing. Traced jobs and
+	// servers with a JobHook never memoize (their side channels must run).
+	Memo bool
 	// Metrics receives service and engine metrics (created when nil).
 	Metrics *obs.Metrics
 	// JobHook, when set, is called as each job starts; it may adjust the
@@ -59,6 +74,14 @@ type Server struct {
 	loader  *Loader
 	store   *store
 
+	// cache is the process-wide verification cache (nil when disabled or
+	// unopenable); cacheOnce closes it exactly once after a full drain.
+	cache     *pcache.Store
+	cacheOnce sync.Once
+
+	memoMu sync.Mutex
+	memo   map[string]*Result
+
 	// admitMu guards queue sends against Drain's close(queue): submitters
 	// hold it shared, Drain exclusively. draining is checked under it.
 	admitMu  sync.RWMutex
@@ -74,6 +97,8 @@ type Server struct {
 	mCompleted *obs.Counter
 	mFailed    *obs.Counter
 	mCanceled  *obs.Counter
+	mMemoHits  *obs.Counter
+	mMemoMiss  *obs.Counter
 	gDepth     *obs.Gauge
 	gPeak      *obs.Gauge
 	gRunning   *obs.Gauge
@@ -104,6 +129,7 @@ func New(cfg Config) *Server {
 		loader:  NewLoader(cfg.DataDir, m),
 		store:   newStore(cfg.StoreCap),
 		queue:   make(chan *Job, cfg.QueueDepth),
+		memo:    make(map[string]*Result),
 
 		mAccepted:  m.Counter("sweepd.jobs.accepted"),
 		mRejected:  m.Counter("sweepd.jobs.rejected"),
@@ -117,6 +143,17 @@ func New(cfg Config) *Server {
 		hAdmission: m.Histogram("sweepd.admission.latency"),
 		hQueueWait: m.Histogram("sweepd.job.queue_wait"),
 		hLatency:   m.Histogram("sweepd.job.latency"),
+
+		mMemoHits: m.Counter("sweepd.memo.hits"),
+		mMemoMiss: m.Counter("sweepd.memo.misses"),
+	}
+	if cfg.CacheDir != "" {
+		pc, err := pcache.Open(cfg.CacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd: verification cache disabled: %v\n", err)
+		} else {
+			s.cache = pc
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -183,7 +220,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Every worker finished: compact the verification cache's journal
+		// to disk. A ctx-expired drain leaves it open — workers may still
+		// be writing, and the process is exiting anyway.
+		var err error
+		s.cacheOnce.Do(func() {
+			if s.cache != nil {
+				err = s.cache.Close()
+			}
+		})
+		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -244,10 +290,31 @@ func (s *Server) runJob(j *Job) {
 	}
 	opts.Tracer = obs.Multi(tracers...)
 
+	memoKey, memoOK := s.memoKey(j.Spec)
+	if memoOK {
+		if prior := s.memoGet(memoKey); prior != nil {
+			s.mMemoHits.Add(1)
+			hit := *prior
+			hit.Memoized = true
+			hit.ElapsedMS = 0
+			if j.finish(&hit, "") == StatusDone {
+				s.mCompleted.Add(1)
+			} else {
+				s.mCanceled.Add(1)
+			}
+			s.hLatency.Observe(time.Since(j.started))
+			return
+		}
+		s.mMemoMiss.Add(1)
+	}
+
 	res, err := s.executeSafe(ctx, j, opts)
 	errMsg := ""
 	if err != nil {
 		errMsg = err.Error()
+	}
+	if memoOK && err == nil && res != nil && res.Verdict != "undecided" && j.Status() != StatusCanceled {
+		s.memoPut(memoKey, res)
 	}
 	switch j.finish(res, errMsg) {
 	case StatusDone:
@@ -269,7 +336,76 @@ func (s *Server) executeSafe(ctx context.Context, j *Job, opts sweep.Options) (r
 			err = fmt.Errorf("job panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return Execute(ctx, j.Spec, s.loader, opts)
+	return ExecuteCached(ctx, j.Spec, s.loader, opts, s.cache)
+}
+
+// memoKey derives the job's memoization key: a digest over the normalized
+// spec (trace fields cleared — they do not affect the result) and the
+// resolved contents of every circuit it names. Not every job is
+// memoizable: traced jobs must emit their event stream, a JobHook may
+// perturb any job, and a Path circuit whose file is unreadable will fail
+// identically on execution anyway.
+func (s *Server) memoKey(spec JobSpec) (string, bool) {
+	if !s.cfg.Memo || spec.Trace || s.cfg.JobHook != nil {
+		return "", false
+	}
+	h := sha256.New()
+	for _, ref := range []CircuitRef{spec.Circuit, spec.CircuitB} {
+		d, ok := s.circuitDigest(ref)
+		if !ok {
+			return "", false
+		}
+		h.Write(d)
+	}
+	spec.Trace, spec.Deterministic = false, false
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", false
+	}
+	h.Write(b)
+	return string(h.Sum(nil)), true
+}
+
+// circuitDigest hashes one circuit ref by content: inline payloads and
+// benchmark names are self-describing; Path refs hash the file bytes so an
+// edited file is a different job.
+func (s *Server) circuitDigest(ref CircuitRef) ([]byte, bool) {
+	h := sha256.New()
+	switch {
+	case ref.BLIF != "":
+		h.Write([]byte("blif\x00" + ref.BLIF))
+	case ref.Bench != "":
+		h.Write([]byte("bench\x00" + ref.Bench))
+	case ref.AIGER != "":
+		h.Write([]byte("aiger\x00" + ref.AIGER))
+	case ref.Benchmark != "":
+		h.Write([]byte("benchmark\x00" + ref.Benchmark))
+	case ref.Path != "":
+		if s.cfg.DataDir == "" {
+			return nil, false
+		}
+		b, err := os.ReadFile(filepath.Join(s.cfg.DataDir, filepath.Clean("/"+ref.Path)))
+		if err != nil {
+			return nil, false
+		}
+		h.Write([]byte("path\x00"))
+		h.Write(b)
+	default:
+		h.Write([]byte("empty"))
+	}
+	return h.Sum(nil), true
+}
+
+func (s *Server) memoGet(key string) *Result {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	return s.memo[key]
+}
+
+func (s *Server) memoPut(key string, res *Result) {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	s.memo[key] = res
 }
 
 // JobView is the JSON shape of a job in status and list responses.

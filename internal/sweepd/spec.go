@@ -248,4 +248,8 @@ type Result struct {
 
 	// ElapsedMS is the job's execution wall time (queue wait excluded).
 	ElapsedMS int64 `json:"elapsed_ms"`
+
+	// Memoized marks a result served from the job-level memo (Config.Memo)
+	// instead of a fresh execution.
+	Memoized bool `json:"memoized,omitempty"`
 }

@@ -7,8 +7,10 @@ package tt
 // magnitude.
 
 // NPNTransform describes how to map a function onto its canonical form:
-// first negate the inputs in InputNeg, then route old input i to position
-// Perm[i], then negate the output when OutputNeg is set.
+// first negate the inputs in InputNeg (indexed over the original
+// variables), then permute so that canonical position p reads original
+// input Perm[p] (Table.Permute semantics), then negate the output when
+// OutputNeg is set.
 type NPNTransform struct {
 	Perm      []int
 	InputNeg  uint32

@@ -46,6 +46,7 @@ import (
 	"simgen/internal/network"
 	"simgen/internal/obs"
 	"simgen/internal/patio"
+	"simgen/internal/pcache"
 	"simgen/internal/sim"
 	"simgen/internal/sweep"
 	"simgen/internal/verilog"
@@ -123,6 +124,13 @@ type (
 	RunReport = obs.Report
 	// Metrics is a registry of counters, gauges, and latency histograms.
 	Metrics = obs.Metrics
+	// ProofCache is the persistent cross-run verification memory: a
+	// journaled, NPN-keyed store of proven equivalences, solver hints,
+	// and high-split-power simulation patterns (one per cache directory).
+	ProofCache = pcache.Store
+	// CacheSession binds a ProofCache to one network for one run; it
+	// plugs into SweepOptions.Cache and replays stored patterns.
+	CacheSession = pcache.Session
 )
 
 // NopTracer discards every event at zero cost; it is the default wherever a
@@ -385,6 +393,26 @@ func CECContext(ctx context.Context, a, b *Network, opts CECOptions) (CECResult,
 func VerifyCounterexample(a, b *Network, cex []bool) (bool, string) {
 	return sweep.VerifyCounterexample(a, b, cex)
 }
+
+// OpenProofCache opens (creating if needed) the verification cache in
+// dir. A corrupted journal is preserved under a .corrupt suffix and the
+// cache proceeds cold; see (*ProofCache).Recovered.
+func OpenProofCache(dir string) (*ProofCache, error) { return pcache.Open(dir) }
+
+// NewCacheSession binds an open cache to a network. Pass the session as
+// SweepOptions.Cache; tr (nil = none) receives cache probe/hit/miss/
+// evict/revalidate-fail events.
+func NewCacheSession(store *ProofCache, net *Network, tr Tracer) *CacheSession {
+	return pcache.NewSession(store, net, tr)
+}
+
+// DiffNetworks returns the nodes of cur whose structural cones have no
+// counterpart in base — the changed logic after an edit.
+func DiffNetworks(base, cur *Network) []NodeID { return pcache.Diff(base, cur) }
+
+// TFOMask marks the transitive fanout of the changed nodes (indexed by
+// NodeID); pass it as SweepOptions.TFOMask for incremental re-verification.
+func TFOMask(net *Network, changed []NodeID) []bool { return pcache.TFOMask(net, changed) }
 
 // Benchmarks returns the paper's 42-circuit suite.
 func Benchmarks() []Benchmark { return genbench.Registry() }
