@@ -150,6 +150,28 @@ cache-soak:
 	done
 	@echo "cache-soak: warm runs SAT-free with byte-identical reduced networks"
 
+# Datapath word-vs-bit contrast: CEC of the committed multiplier corpus
+# pairs with the word-staged adaptive portfolio vs the plain bit-level
+# portfolio (root bench_test.go BenchmarkDatapathCEC). The benchmark
+# asserts the mul10x10 tripwire in-process (word must beat bit-level by
+# >=2x wall clock); medians feed results/BENCH_datapath.json. The fuzz and
+# replay halves of the datapath layer run via `make datapath-test`.
+.PHONY: bench-datapath
+bench-datapath:
+	$(GO) test -run 'xxx' -bench 'BenchmarkDatapathCEC' -benchtime 1x \
+		-count $(BENCHSCALE_COUNT) -timeout 30m .
+
+# Datapath verification layer: golden corpus replay (word-staged CEC of
+# every committed pair + the mutated NEQ pair), the word/adaptive unit and
+# property layer, and a bounded differential fuzz campaign over the
+# datapath preset with the injected-unsound word engine self-check.
+.PHONY: datapath-test
+datapath-test:
+	$(GO) test -count=1 -run 'TestDatapathCorpusReplay' ./internal/sweep
+	$(GO) test -count=1 -run 'TestDatapath|TestUnsoundWord|TestWordProofCache|TestPoisonedWordCache' ./internal/fuzz
+	$(GO) test -count=1 ./internal/word ./internal/prover
+	$(GO) run ./cmd/fuzz -n 60 -seed 1 -datapath -oracle differential
+
 # Regression gate: re-run the micro-benchmarks and fail when any median
 # time/op regressed >20% against the committed baseline.
 .PHONY: bench-gate

@@ -12,10 +12,14 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
+	"time"
 
 	"simgen/internal/bdd"
+	"simgen/internal/blif"
 	"simgen/internal/core"
 	"simgen/internal/experiments"
 	"simgen/internal/genbench"
@@ -545,5 +549,101 @@ func BenchmarkBDDBuild(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// loadDatapathPair reads one golden corpus pair from testdata/datapath —
+// the same committed BLIF files the corpus replay test checks and a
+// cmd/sweep -cec user would pass. The pairs are built and
+// technology-mapped independently per half (genbench.SplitTwin), so they
+// share no structure beyond what the two algorithms genuinely compute in
+// common.
+func loadDatapathPair(b *testing.B, name string) (*Network, *Network) {
+	b.Helper()
+	load := func(file string) *Network {
+		f, err := os.Open(filepath.Join("testdata", "datapath", file))
+		if err != nil {
+			b.Fatalf("opening %s (regenerate with go test ./internal/sweep -run DatapathCorpus -update-datapath): %v", file, err)
+		}
+		defer f.Close()
+		net, err := blif.Parse(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return net
+	}
+	return load(name + "_a.blif"), load(name + "_b.blif")
+}
+
+// datapathCEC runs one CEC arm over a datapath corpus pair under the
+// cmd/sweep -cec defaults (random rounds, 20 guided SimGen iterations,
+// then a portfolio sweep with the 4x/2-rung escalation ladder). On the
+// multiplier pairs the bit-level arm faces the cross-implementation
+// miters nearly cold, while the word arm proves the internal adder words
+// bottom-up and learns the per-bit equalities into the shared solver
+// before any wide miter is posed — that is the contrast being measured.
+func datapathCEC(b *testing.B, an, bn *Network, word bool) (time.Duration, sweep.CECResult) {
+	b.Helper()
+	opts := sweep.CECOptions{
+		Seed:             1,
+		GuidedIterations: 20,
+		Method:           "simgen",
+		Sweep: sweep.Options{
+			Engine:           sweep.EnginePortfolio,
+			EscalationFactor: 4,
+			MaxEscalations:   2,
+		},
+	}
+	if word {
+		opts.Sweep.WordStage = true
+		opts.Sweep.Adaptive = true
+	}
+	start := time.Now()
+	res, err := sweep.CEC(an, bn, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Equivalent || res.Undecided {
+		b.Fatalf("datapath pair: eq=%v undecided=%v", res.Equivalent, res.Undecided)
+	}
+	return time.Since(start), res
+}
+
+// BenchmarkDatapathCEC measures the split multiplier pairs with the
+// word-staged adaptive portfolio ("word") vs the plain bit-level
+// portfolio ("bit"). The setup is the datapath tripwire: on the 10x10
+// pair the word arm must beat the bit-level arm by at least 2x wall clock
+// — generous against the ~28x measured on the reference container
+// (results/BENCH_datapath.json) but tight enough to catch the word stage
+// silently disengaging or its learned equalities no longer reaching the
+// solver. The timed sub-benchmarks report the faster 8x8 pair.
+// `make bench-datapath` reports both arms; the CI datapath job runs this
+// with -benchtime 1x.
+func BenchmarkDatapathCEC(b *testing.B) {
+	a10, b10 := loadDatapathPair(b, "mul10x10")
+	wd, wres := datapathCEC(b, a10, b10, true)
+	if wres.Sweep.WordChecks == 0 {
+		b.Fatal("word arm performed no word checks; the stage is not engaged")
+	}
+	bd, _ := datapathCEC(b, a10, b10, false)
+	if bd < 2*wd {
+		b.Fatalf("word stage no longer pays on mul10x10: word %v vs bit-level %v (< 2x)", wd, bd)
+	}
+	b.Logf("mul10x10 tripwire: word %v vs bit-level %v (%.1fx)", wd, bd, float64(bd)/float64(wd))
+
+	a8, b8 := loadDatapathPair(b, "mul8x8")
+	for _, arm := range []struct {
+		name string
+		word bool
+	}{{"word", true}, {"bit", false}} {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			var calls int
+			for i := 0; i < b.N; i++ {
+				_, res := datapathCEC(b, a8, b8, arm.word)
+				calls = res.Sweep.SATCalls
+			}
+			b.ReportMetric(float64(calls), "satcalls/op")
+		})
 	}
 }

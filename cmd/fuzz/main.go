@@ -14,6 +14,7 @@
 //	fuzz -seed 42 -n 200 -shape xor-heavy       # fix a preset shape
 //	fuzz -shape 'pi=6,nodes=30,po=2,fanin=3'    # or a custom shape spec
 //	fuzz -n 200 -inject-unsound -corpus /tmp/c  # self-test: catch a broken sweeper
+//	fuzz -datapath -n 60                        # datapath twins, word engines in the oracle
 //
 // Exit codes: 0 all iterations clean, 1 oracle failure found, 2 usage error.
 package main
@@ -43,6 +44,8 @@ func run() int {
 		seed          = flag.Int64("seed", 1, "campaign seed; one seed reproduces the whole run")
 		n             = flag.Int("n", 100, "number of circuits to generate and check")
 		shapeSpec     = flag.String("shape", "", "generator shape: preset name or 'pi=8,nodes=40,...' spec (default: cycle presets)")
+		datapath      = flag.Bool("datapath", false,
+			"datapath preset: word-structured adder/mux/shifter twins, with the word-level engines added to the differential oracle")
 		shrink        = flag.Bool("shrink", true, "minimize failing circuits before reporting")
 		corpus        = flag.String("corpus", "", "directory for shrunk reproducer BLIF files")
 		maxFailures   = flag.Int("max-failures", 1, "stop after this many failures")
@@ -73,6 +76,7 @@ func run() int {
 	opts := fuzz.CampaignOptions{
 		Seed:        *seed,
 		N:           *n,
+		Datapath:    *datapath,
 		Shrink:      *shrink,
 		CorpusDir:   *corpus,
 		MaxFailures: *maxFailures,
@@ -97,6 +101,10 @@ func run() int {
 		opts.Differential, opts.Metamorphic = true, true
 	default:
 		fmt.Fprintf(os.Stderr, "fuzz: unknown -oracle %q (want differential|metamorphic|both)\n", *oracle)
+		return exitUsage
+	}
+	if *datapath && *shapeSpec != "" {
+		fmt.Fprintln(os.Stderr, "fuzz: -shape is ignored with -datapath (circuits come from the datapath preset)")
 		return exitUsage
 	}
 	if *shapeSpec != "" {
@@ -131,8 +139,13 @@ func run() int {
 	for _, f := range res.Failures {
 		fmt.Printf("FAILURE %s (iteration %d, seed %d, shape %s)\n  %s\n",
 			f.Check, f.Iteration, f.Seed, f.Shape, f.Detail)
-		fmt.Printf("  reproduce: go run ./cmd/fuzz -seed %d -n %d -shape '%s' -oracle %s\n",
-			f.Seed, f.Iteration+1, f.Shape, *oracle)
+		if *datapath {
+			fmt.Printf("  reproduce: go run ./cmd/fuzz -datapath -seed %d -n %d -oracle %s\n",
+				f.Seed, f.Iteration+1, *oracle)
+		} else {
+			fmt.Printf("  reproduce: go run ./cmd/fuzz -seed %d -n %d -shape '%s' -oracle %s\n",
+				f.Seed, f.Iteration+1, f.Shape, *oracle)
+		}
 		if f.CorpusPath != "" {
 			fmt.Printf("  reproducer: %s\n", f.CorpusPath)
 		}

@@ -32,7 +32,9 @@ func main() {
 		randRounds = flag.Int("random-rounds", 1, "initial random rounds (64 vectors each)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		list       = flag.Bool("list", false, "list built-in benchmarks and exit")
-		engine     = flag.String("engine", "none", "sweep the refined classes afterwards: none|sat|bdd|portfolio")
+		engine     = flag.String("engine", "none", "sweep the refined classes afterwards: none|sat|bdd|portfolio|word")
+		wordStage  = flag.Bool("word", false, "insert the word-level proving stage into the final sweep's portfolio")
+		adaptive   = flag.Bool("adaptive", false, "adaptive first-engine policy for the final sweep (portfolio only)")
 		dump       = flag.String("dump-patterns", "", "write all generated vectors to this pattern file")
 		cacheDir   = flag.String("cache-dir", "", "persistent verification cache: replay stored patterns first, record generated ones, and feed proofs to the final sweep")
 		replay     = flag.String("replay", "", "replay vectors from a pattern file instead of generating")
@@ -167,7 +169,7 @@ func main() {
 	}
 	fmt.Printf("final cost: %d (%s)\n", run.Classes.Cost(), src.Name())
 	flushPatterns(*dump, dumped)
-	if err := finalSweep(ctx, net, run, *engine, obsSetup.Tracer, sess); err != nil {
+	if err := finalSweep(ctx, net, run, *engine, *wordStage, *adaptive, obsSetup.Tracer, sess); err != nil {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
 		exit(2)
 	}
@@ -178,7 +180,7 @@ func main() {
 // engine, turning the generation run into an end-to-end sweep: the per-
 // iteration cost column above is exactly the worst-case number of proof
 // obligations this pass now discharges.
-func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string, tracer simgen.Tracer, sess *simgen.CacheSession) error {
+func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, engine string, wordStage, adaptive bool, tracer simgen.Tracer, sess *simgen.CacheSession) error {
 	if engine == "none" {
 		return nil
 	}
@@ -186,7 +188,7 @@ func finalSweep(ctx context.Context, net *simgen.Network, run *simgen.Runner, en
 	if err != nil {
 		return err
 	}
-	opts := simgen.SweepOptions{Engine: kind, Tracer: tracer}
+	opts := simgen.SweepOptions{Engine: kind, WordStage: wordStage, Adaptive: adaptive, Tracer: tracer}
 	if sess != nil {
 		opts.Cache = sess
 	}

@@ -39,6 +39,7 @@ const (
 type config struct {
 	method      string
 	engine      string
+	engineKind  simgen.EngineKind
 	reduce      string
 	iterations  int
 	randRounds  int
@@ -51,6 +52,8 @@ type config struct {
 	bddFallback bool
 	bddNodes    int
 	workers     int
+	wordStage   bool
+	adaptive    bool
 	cacheDir    string
 	basePath    string
 	tracer      simgen.Tracer
@@ -73,7 +76,9 @@ func main() {
 	flag.BoolVar(&cfg.bddFallback, "bdd-fallback", false, "retry pairs that exhaust the final rung on the BDD engine")
 	flag.IntVar(&cfg.bddNodes, "bdd-nodes", 1<<20, "BDD fallback node limit (0 = manager default)")
 	flag.IntVar(&cfg.workers, "workers", 1, "parallel sweep workers (0 = GOMAXPROCS)")
-	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd|portfolio")
+	flag.StringVar(&cfg.engine, "engine", "sat", "verification engine: sat|bdd|portfolio|word")
+	flag.BoolVar(&cfg.wordStage, "word", false, "insert the word-level proving stage into the portfolio (structure detection + frontier learning)")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "adaptive first-engine policy from per-shape wall-time attribution (portfolio only)")
 	flag.StringVar(&cfg.reduce, "reduce", "", "write the swept (merged) network to this BLIF file")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent verification cache directory (proofs, clause hints, patterns)")
 	flag.StringVar(&cfg.basePath, "base", "", "previous revision BLIF: sweep incrementally, scheduling only the diff's fanout (requires -cache-dir)")
@@ -105,6 +110,12 @@ func main() {
 		os.Exit(code)
 	}
 
+	if kind, err := simgen.ParseSweepEngine(cfg.engine); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		exit(exitUsage)
+	} else {
+		cfg.engineKind = kind
+	}
 	if cfg.workers < 0 {
 		fmt.Fprintf(os.Stderr, "sweep: -workers must be >= 0 (0 = GOMAXPROCS), got %d\n", cfg.workers)
 		exit(exitUsage)
@@ -156,12 +167,15 @@ func load(path string) (*simgen.Network, error) {
 
 func (c config) sweepOptions() simgen.SweepOptions {
 	return simgen.SweepOptions{
+		Engine:            c.engineKind,
 		ConflictBudget:    c.budget,
 		PropagationBudget: c.propBudget,
 		EscalationFactor:  c.escalate,
 		MaxEscalations:    c.maxEscalate,
 		BDDFallback:       c.bddFallback,
 		BDDNodeLimit:      c.bddNodes,
+		WordStage:         c.wordStage,
+		Adaptive:          c.adaptive,
 		Tracer:            c.tracer,
 	}
 }
@@ -254,11 +268,8 @@ func runSweep(ctx context.Context, benchmark string, args []string, cfg config) 
 	code := exitOK
 	var rep func(simgen.NodeID) simgen.NodeID
 	switch cfg.engine {
-	case "sat", "portfolio":
+	case "sat", "portfolio", "word":
 		opts := cfg.sweepOptions()
-		if cfg.engine == "portfolio" {
-			opts.Engine = simgen.EnginePortfolio
-		}
 		if sess != nil {
 			opts.Cache = sess
 			opts.TFOMask = mask

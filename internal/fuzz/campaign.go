@@ -16,6 +16,11 @@ type CampaignOptions struct {
 	// Shape, when non-nil, fixes the generator shape; otherwise iterations
 	// cycle through the Shapes() presets.
 	Shape *Shape
+	// Datapath switches the generator to the word-structured twin circuits
+	// (GenerateDatapath, cycling DatapathKinds) and forces Config.WordEngines
+	// on, so the word-level engines face the differential oracle on circuits
+	// whose structure detection actually fires. Shape is ignored.
+	Datapath bool
 	// Differential / Metamorphic select the oracles to run; when neither is
 	// set, RunCampaign enables both.
 	Differential, Metamorphic bool
@@ -64,17 +69,30 @@ func RunCampaign(opts CampaignOptions) CampaignResult {
 	}
 	presets := ShapeNames()
 	shapes := Shapes()
+	kinds := DatapathKinds()
+	if opts.Datapath {
+		opts.Config.WordEngines = true
+	}
 
 	var res CampaignResult
 	for i := 0; i < opts.N; i++ {
 		res.Iterations = i + 1
-		shape := shapes[presets[i%len(presets)]]
-		if opts.Shape != nil {
-			shape = *opts.Shape
-		}
 		iterSeed := iterationSeed(opts.Seed, i)
 		rng := rand.New(rand.NewSource(iterSeed))
-		net := Generate(rng, shape)
+		var net *network.Network
+		var shapeName string
+		if opts.Datapath {
+			kind := kinds[i%len(kinds)]
+			net = GenerateDatapath(rng, kind)
+			shapeName = "datapath:" + kind
+		} else {
+			shape := shapes[presets[i%len(presets)]]
+			if opts.Shape != nil {
+				shape = *opts.Shape
+			}
+			net = Generate(rng, shape)
+			shapeName = shape.String()
+		}
 		res.Circuits++
 
 		var failure *Failure
@@ -94,7 +112,7 @@ func RunCampaign(opts CampaignOptions) CampaignResult {
 
 		failure.Iteration = i
 		failure.Seed = opts.Seed
-		failure.Shape = shape.String()
+		failure.Shape = shapeName
 		logf("fuzz: FAILURE %s at iteration %d: %s", failure.Check, i, failure.Detail)
 		if opts.Shrink {
 			failure.Net = Shrink(failure.Net, reproduces(opts, metaSeed), 0)

@@ -31,6 +31,13 @@ type Config struct {
 	// unlimited so every engine must fully resolve each circuit; FaultHook
 	// can deliberately break the sweeper to prove the oracle catches it.
 	SweepOpts sweep.Options
+	// WordEngines additionally runs the word-level engines — the standalone
+	// word engine and the portfolio with the word stage and adaptive policy
+	// on — against the same exhaustive oracle and the same coarse partition
+	// as the bit-level engines. The portfolio run disables its simulation
+	// stage so every candidate pair actually reaches the word stage. The
+	// datapath campaign preset enables this.
+	WordEngines bool
 	// PerturbSchedules additionally runs the parallel engine that many
 	// times under distinct chaos schedules (timing-only perturbation:
 	// injected yields, delays, forced flushes, spurious wakeups). Schedule
@@ -203,6 +210,29 @@ func runEngines(net *network.Network, cfg Config) []engineRun {
 		name: "portfolio", rep: port.Rep,
 		unresolved: portRes.Unresolved, incomplete: portRes.Incomplete,
 	})
+
+	if cfg.WordEngines {
+		wordOpts := cfg.SweepOpts
+		wordOpts.Engine = sweep.EngineWord
+		wrd := sweep.New(net, freshClasses(), wordOpts)
+		wres := wrd.Run()
+		runs = append(runs, engineRun{
+			name: "word", rep: wrd.Rep,
+			unresolved: wres.Unresolved, incomplete: wres.Incomplete,
+		})
+
+		wpOpts := cfg.SweepOpts
+		wpOpts.Engine = sweep.EnginePortfolio
+		wpOpts.WordStage = true
+		wpOpts.Adaptive = true
+		wpOpts.SimPIs = -1 // no sim stage: every pair faces the word stage
+		wp := sweep.New(net, freshClasses(), wpOpts)
+		wpres := wp.Run()
+		runs = append(runs, engineRun{
+			name: "portfolio-word", rep: wp.Rep,
+			unresolved: wpres.Unresolved, incomplete: wpres.Incomplete,
+		})
+	}
 
 	for i := 0; i < cfg.PerturbSchedules; i++ {
 		perturbOpts := cfg.SweepOpts

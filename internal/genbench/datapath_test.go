@@ -1,0 +1,120 @@
+package genbench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDatapathRegistry(t *testing.T) {
+	fam := Datapath()
+	if len(fam) < 6 {
+		t.Fatalf("datapath family has %d benchmarks, want at least 6", len(fam))
+	}
+	seen := map[string]bool{}
+	for _, b := range fam {
+		if b.Suite != "DATAPATH" {
+			t.Errorf("%s: suite %q, want DATAPATH", b.Name, b.Suite)
+		}
+		if seen[b.Name] {
+			t.Errorf("duplicate datapath benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		// The family must stay out of the paper-table registry.
+		if _, ok := ByName(b.Name); ok {
+			t.Errorf("%s leaked into the main registry", b.Name)
+		}
+	}
+	if _, ok := DatapathByName("mul8x8"); !ok {
+		t.Fatal("mul8x8 missing from the datapath family")
+	}
+}
+
+func TestDatapathBenchmarksBuildAndMap(t *testing.T) {
+	for _, b := range Datapath() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			g := b.Build()
+			if g.NumAnds() == 0 {
+				t.Fatal("empty circuit")
+			}
+			net, err := b.LUTNetwork()
+			if err != nil {
+				t.Fatalf("mapping failed: %v", err)
+			}
+			if err := net.Check(); err != nil {
+				t.Fatalf("invalid network: %v", err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			for round := 0; round < 2; round++ {
+				vec := g.RandomVector(rng)
+				aigOut := g.EvalVector(vec)
+				netOut := evalNet(net, vec)
+				for p := range aigOut {
+					if aigOut[p] != netOut[p] {
+						t.Fatalf("PO %d mismatch between AIG and LUT network", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSplitTwinHalves checks the CEC-pair contract of every split: the
+// halves expose identical interfaces (PI and PO names in identical order)
+// and agree on random vectors — the corpus replay test proves the full
+// equivalence with CEC.
+func TestSplitTwinHalves(t *testing.T) {
+	names := TwinNames()
+	if len(names) < 6 {
+		t.Fatalf("%d twin benchmarks, want at least 6", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, b, err := SplitTwin(name)
+			if err != nil {
+				t.Fatalf("split failed: %v", err)
+			}
+			for _, half := range []interface{ Check() error }{a, b} {
+				if err := half.Check(); err != nil {
+					t.Fatalf("invalid half: %v", err)
+				}
+			}
+			if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+				t.Fatalf("interface mismatch: %d/%d PIs, %d/%d POs",
+					a.NumPIs(), b.NumPIs(), a.NumPOs(), b.NumPOs())
+			}
+			for i, pi := range a.PIs() {
+				if a.Node(pi).Name != b.Node(b.PIs()[i]).Name {
+					t.Fatalf("PI %d name mismatch: %q vs %q",
+						i, a.Node(pi).Name, b.Node(b.PIs()[i]).Name)
+				}
+			}
+			for i, po := range a.POs() {
+				if po.Name != b.POs()[i].Name {
+					t.Fatalf("PO %d name mismatch: %q vs %q", i, po.Name, b.POs()[i].Name)
+				}
+			}
+			rng := rand.New(rand.NewSource(7))
+			for round := 0; round < 16; round++ {
+				vec := make([]bool, a.NumPIs())
+				for i := range vec {
+					vec[i] = rng.Intn(2) == 1
+				}
+				oa, ob := evalNet(a, vec), evalNet(b, vec)
+				for p := range oa {
+					if oa[p] != ob[p] {
+						t.Fatalf("round %d: halves disagree on PO %q",
+							round, a.POs()[p].Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSplitTwinUnknown(t *testing.T) {
+	if _, _, err := SplitTwin("apex2"); err == nil {
+		t.Fatal("splitting a non-twin benchmark must fail")
+	}
+}

@@ -34,6 +34,7 @@ type Collector struct {
 	contended int // union-find merges that hit stripe contention
 
 	cache CacheReport // verification-memory activity
+	word  WordReport  // word-level structure and proving activity
 
 	escalations []int // count per rung (index rung-1)
 	bddBlowups  int
@@ -133,6 +134,14 @@ func (c *Collector) Emit(ev Event) {
 		c.cache.Evictions += int(ev.Dropped)
 	case KindCacheRevalidateFail:
 		c.cache.RevalidateFails++
+	case KindWordDetect:
+		c.word.Detections++
+		c.word.Words += int(ev.Words)
+		c.word.Bits += int(ev.WordBits)
+	case KindWordFrontier:
+		c.word.FrontierProofs++
+	case KindPolicyPick:
+		c.word.PolicyPicks++
 	case KindPoolFlush:
 		c.pool.Flushes++
 		c.pool.Lanes += int(ev.Lanes)
@@ -208,6 +217,17 @@ type CacheReport struct {
 	RevalidateFails int `json:"revalidate_fails"`
 }
 
+// WordReport summarizes word-level structure detection, frontier proving,
+// and adaptive policy activity. All fields are zero (and the report section
+// is omitted) when the word stage is off.
+type WordReport struct {
+	Detections     int `json:"detections"`
+	Words          int `json:"words"`
+	Bits           int `json:"bits"`
+	FrontierProofs int `json:"frontier_proofs"`
+	PolicyPicks    int `json:"policy_picks"`
+}
+
 // GenReport summarizes the simulation runner and its vector source.
 type GenReport struct {
 	Batches      int           `json:"batches"`
@@ -234,6 +254,7 @@ type Report struct {
 	// lock — the explainability counter behind the scaling curve.
 	StripeContention int           `json:"stripe_contention,omitempty"`
 	Cache            CacheReport   `json:"cache"`
+	Word             WordReport    `json:"word"`
 	Pool             PoolReport    `json:"pool"`
 	Gen              GenReport     `json:"gen"`
 	ProveTime        time.Duration `json:"prove_time_ns"`
@@ -268,6 +289,7 @@ func (c *Collector) Report() Report {
 		Perturbs:         c.perturbs,
 		StripeContention: c.contended,
 		Cache:            c.cache,
+		Word:             c.word,
 		Pool:             c.pool,
 		Gen:              c.gen,
 		ProveTime:        c.proveTime,
@@ -321,6 +343,10 @@ func (r Report) Format() string {
 		fmt.Fprintf(&b, "cache: %d probes = %d hits + %d misses (%d revalidation failures, %d evictions)\n",
 			r.Cache.Probes, r.Cache.Hits, r.Cache.Misses,
 			r.Cache.RevalidateFails, r.Cache.Evictions)
+	}
+	if r.Word.Detections > 0 {
+		fmt.Fprintf(&b, "word: %d candidate words (%d bits), %d frontier proofs, %d policy picks\n",
+			r.Word.Words, r.Word.Bits, r.Word.FrontierProofs, r.Word.PolicyPicks)
 	}
 	if len(r.Engines) > 0 {
 		fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %12s %12s\n",

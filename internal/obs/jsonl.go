@@ -124,6 +124,20 @@ func (t *JSONL) Emit(ev Event) {
 		b = appendVerdict(b, ev.Verdict)
 	case KindCacheEvict:
 		b = appendField(b, "dropped", int64(ev.Dropped))
+	case KindWordDetect:
+		b = appendField(b, "words", int64(ev.Words))
+		b = appendField(b, "bits", int64(ev.WordBits))
+	case KindWordFrontier:
+		b = appendPair(b, ev)
+		b = appendOptField(b, "slice", int64(ev.Rung))
+	case KindPolicyPick:
+		b = appendEngine(b, ev.Engine)
+		b = appendPair(b, ev)
+		if ev.Point != "" {
+			b = append(b, `,"shape":"`...)
+			b = append(b, ev.Point...)
+			b = append(b, '"')
+		}
 	case KindSimBatch:
 		b = appendField(b, "iter", int64(ev.Iter))
 		b = appendField(b, "vectors", int64(ev.Vectors))

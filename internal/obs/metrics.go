@@ -249,6 +249,10 @@ type MetricsTracer struct {
 	cacheMisses *Counter
 	cacheEvicts *Counter
 	cacheReval  *Counter
+	wordDetects *Counter
+	wordBits    *Counter
+	wordFront   *Counter
+	policyPicks *Counter
 	queueDepth  *Gauge
 	flushTime   *Histogram
 	batchTime   *Histogram
@@ -299,6 +303,10 @@ func NewMetricsTracer(m *Metrics) *MetricsTracer {
 		cacheMisses: m.Counter("cache.misses"),
 		cacheEvicts: m.Counter("cache.evictions"),
 		cacheReval:  m.Counter("cache.revalidate_fails"),
+		wordDetects: m.Counter("word.detections"),
+		wordBits:    m.Counter("word.bits"),
+		wordFront:   m.Counter("word.frontier_proofs"),
+		policyPicks: m.Counter("word.policy_picks"),
 		queueDepth:  m.Gauge("sweep.queue_depth"),
 		flushTime:   m.Histogram("pool.flush_time"),
 		batchTime:   m.Histogram("sim.batch_time"),
@@ -384,6 +392,13 @@ func (t *MetricsTracer) Emit(ev Event) {
 		t.cacheEvicts.Add(int64(ev.Dropped))
 	case KindCacheRevalidateFail:
 		t.cacheReval.Add(1)
+	case KindWordDetect:
+		t.wordDetects.Add(1)
+		t.wordBits.Add(int64(ev.WordBits))
+	case KindWordFrontier:
+		t.wordFront.Add(1)
+	case KindPolicyPick:
+		t.policyPicks.Add(1)
 	case KindPoolFlush:
 		t.poolFlushes.Add(1)
 		t.poolLanes.Add(int64(ev.Lanes))

@@ -118,6 +118,18 @@ const (
 	// KindCacheRevalidateFail records a cache record that matched the key
 	// but was rejected by revalidation against the current network (A, B).
 	KindCacheRevalidateFail
+	// KindWordDetect records one word-structure detection pass over the
+	// network (Words=candidate words, WordBits=member bits). Word-enabled
+	// runs only.
+	KindWordDetect
+	// KindWordFrontier records a frontier slice pair proven equal and
+	// learned into the shared solver ahead of a wide word miter (A, B,
+	// Rung=slice index).
+	KindWordFrontier
+	// KindPolicyPick records the adaptive portfolio policy choosing the
+	// first engine for an obligation shape (A, B, Engine, Point=shape key).
+	// Adaptive runs only.
+	KindPolicyPick
 
 	numKinds
 )
@@ -145,6 +157,10 @@ var kindNames = [numKinds]string{
 	KindCacheMiss:           "cache_miss",
 	KindCacheEvict:          "cache_evict",
 	KindCacheRevalidateFail: "cache_revalidate_fail",
+
+	KindWordDetect:   "word_detect",
+	KindWordFrontier: "word_frontier",
+	KindPolicyPick:   "policy_pick",
 }
 
 func (k Kind) String() string {
@@ -204,6 +220,9 @@ type Event struct {
 
 	Workers int32 // worker count of the run
 	Pending int32 // queue depth when the obligation was claimed
+
+	Words    int32 // word-detect candidate words
+	WordBits int32 // word-detect member bits across all candidates
 
 	Retries int32  // requeue ordinal: the pair's retry count at this event
 	Point   string // chaos decision point of a perturb event

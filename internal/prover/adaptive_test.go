@@ -1,0 +1,161 @@
+package prover
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"simgen/internal/network"
+	"simgen/internal/obs"
+)
+
+func TestShapeKeyString(t *testing.T) {
+	k := ShapeKey{SupportBucket: 5, InWord: true, FaninBucket: 4}
+	if got := k.String(); got != "s5w1f4" {
+		t.Fatalf("shape string %q, want s5w1f4", got)
+	}
+	k.InWord = false
+	if got := k.String(); got != "s5w0f4" {
+		t.Fatalf("shape string %q, want s5w0f4", got)
+	}
+}
+
+// TestAttributionBestGating: picks need attrMinAttempts attempts AND at
+// least one settled pair — an engine that always times out must never be
+// picked no matter how much history it has.
+func TestAttributionBestGating(t *testing.T) {
+	shape := ShapeKey{SupportBucket: 3}
+	attr := NewAttribution()
+	for i := 0; i < attrMinAttempts-1; i++ {
+		attr.Observe(shape, "sat", true, time.Millisecond)
+	}
+	if eng, ok := attr.Best(shape); ok {
+		t.Fatalf("picked %q below the attempt floor", eng)
+	}
+	attr.Observe(shape, "sat", true, time.Millisecond)
+	if eng, ok := attr.Best(shape); !ok || eng != "sat" {
+		t.Fatalf("pick = %q/%v after %d attempts, want sat", eng, ok, attrMinAttempts)
+	}
+	for i := 0; i < 2*attrMinAttempts; i++ {
+		attr.Observe(shape, "bdd", false, time.Nanosecond)
+	}
+	if eng, _ := attr.Best(shape); eng != "sat" {
+		t.Fatalf("pick = %q, a never-settling engine must not win on cheap attempts", eng)
+	}
+	if _, ok := attr.Best(ShapeKey{SupportBucket: 9}); ok {
+		t.Fatal("picked an engine for a shape with no history")
+	}
+}
+
+// TestAttributionPicksCheapestPerSettled: the score is time per settled
+// pair, so a slower-per-attempt but reliable engine beats a flaky fast one,
+// and exact ties break by engine name.
+func TestAttributionPicksCheapestPerSettled(t *testing.T) {
+	shape := ShapeKey{SupportBucket: 4}
+	attr := NewAttribution()
+	for i := 0; i < attrMinAttempts; i++ {
+		// sat: 8 attempts x 2ms, 1 settled -> 16ms per settled pair.
+		attr.Observe(shape, "sat", i == 0, 2*time.Millisecond)
+		// bdd: 8 attempts x 4ms, all settled -> 4ms per settled pair.
+		attr.Observe(shape, "bdd", true, 4*time.Millisecond)
+	}
+	if eng, ok := attr.Best(shape); !ok || eng != "bdd" {
+		t.Fatalf("pick = %q/%v, want bdd (cheapest per settled pair)", eng, ok)
+	}
+
+	tie := NewAttribution()
+	for i := 0; i < attrMinAttempts; i++ {
+		tie.Observe(shape, "sim", true, time.Millisecond)
+		tie.Observe(shape, "bdd", true, time.Millisecond)
+	}
+	if eng, _ := tie.Best(shape); eng != "bdd" {
+		t.Fatalf("tie pick = %q, want bdd (name order)", eng)
+	}
+}
+
+// adaptiveHarness builds a portfolio over random logic with a recorder
+// tracer and an attached attribution table, returning the proof pair.
+func adaptiveHarness(t *testing.T, attr *Attribution) (*Portfolio, *obs.Recorder, network.NodeID) {
+	t.Helper()
+	net := randomNet(rand.New(rand.NewSource(17)), 5, 12)
+	p := NewPortfolio(net, Policy{SimPIs: 16, MaxEscalations: 2, BDDFallback: true}, nil)
+	rec := &obs.Recorder{}
+	p.SetTracer(rec)
+	p.SetAttribution(attr)
+	return p, rec, network.NodeID(net.NumNodes() - 1)
+}
+
+// firstEngine returns the engine of the first prove_start event.
+func firstEngine(rec *obs.Recorder) string {
+	starts := rec.Filter(obs.KindProveStart)
+	if len(starts) == 0 {
+		return ""
+	}
+	return starts[0].Engine
+}
+
+// TestAdaptivePicksFavoredEngineFirst is the policy property test: when the
+// attribution history says one engine settles this obligation shape
+// cheapest, the portfolio must announce the pick and try that engine first
+// — the obs trace order is the proof.
+func TestAdaptivePicksFavoredEngineFirst(t *testing.T) {
+	for _, favored := range []string{"bdd", "sat"} {
+		attr := NewAttribution()
+		p, rec, a := adaptiveHarness(t, attr)
+		shape := p.shapeOf(a, a)
+		for i := 0; i < attrMinAttempts; i++ {
+			attr.Observe(shape, favored, true, time.Millisecond)
+			attr.Observe(shape, "sim", true, time.Second)
+		}
+		r := p.Prove(context.Background(), a, a, Budget{})
+		if r.Verdict != Equal {
+			t.Fatalf("favored %s: verdict %v, want equal", favored, r.Verdict)
+		}
+		picks := rec.Filter(obs.KindPolicyPick)
+		if len(picks) != 1 || picks[0].Engine != favored || picks[0].Point != shape.String() {
+			t.Fatalf("favored %s: policy_pick events %+v, want one pick of it at shape %s",
+				favored, picks, shape)
+		}
+		if got := firstEngine(rec); got != favored {
+			t.Fatalf("favored %s: first engine tried was %q", favored, got)
+		}
+	}
+}
+
+// TestAdaptiveNoHistoryKeepsFixedLadder: an attached but empty attribution
+// table must leave the schedule untouched — no pick event, simulation
+// first, exactly as the word/adaptive-off golden traces pin byte-for-byte.
+func TestAdaptiveNoHistoryKeepsFixedLadder(t *testing.T) {
+	p, rec, a := adaptiveHarness(t, NewAttribution())
+	r := p.Prove(context.Background(), a, a, Budget{})
+	if r.Verdict != Equal {
+		t.Fatalf("verdict %v, want equal", r.Verdict)
+	}
+	if picks := rec.Filter(obs.KindPolicyPick); len(picks) != 0 {
+		t.Fatalf("policy_pick emitted without history: %+v", picks)
+	}
+	if got := firstEngine(rec); got != "sim" {
+		t.Fatalf("first engine %q, want the fixed ladder's sim stage", got)
+	}
+}
+
+// TestAdaptiveFeedsBackObservations: a proving run must grow the shared
+// attribution table until picks activate, closing the loop without any
+// external seeding.
+func TestAdaptiveFeedsBackObservations(t *testing.T) {
+	attr := NewAttribution()
+	p, rec, a := adaptiveHarness(t, attr)
+	shape := p.shapeOf(a, a)
+	for i := 0; i < attrMinAttempts; i++ {
+		p.Prove(context.Background(), a, a, Budget{})
+	}
+	if eng, ok := attr.Best(shape); !ok || eng != "sim" {
+		t.Fatalf("after %d sim-settled proofs Best = %q/%v, want sim", attrMinAttempts, eng, ok)
+	}
+	n := len(rec.Filter(obs.KindPolicyPick))
+	p.Prove(context.Background(), a, a, Budget{})
+	if got := len(rec.Filter(obs.KindPolicyPick)); got != n+1 {
+		t.Fatalf("pick events %d -> %d, want the warmed table to activate a pick", n, got)
+	}
+}

@@ -45,10 +45,12 @@ type Portfolio struct {
 	policy Policy
 	tr     obs.Tracer
 
-	sim    *Sim   // nil when disabled
+	sim    *Sim         // nil when disabled
 	sat    *SAT
-	bdd    *BDD   // built lazily on first fallback
-	prober Prober // cross-run verification memory; nil when disabled
+	word   *Word        // word-level stage; nil when disabled
+	bdd    *BDD         // built lazily on first fallback
+	prober Prober       // cross-run verification memory; nil when disabled
+	attr   *Attribution // adaptive first-engine policy; nil when disabled
 }
 
 // NewPortfolio creates a portfolio over the network. hook injects test
@@ -74,10 +76,32 @@ func (p *Portfolio) SetTracer(t obs.Tracer) {
 	if p.sim != nil {
 		p.sim.SetTracer(t)
 	}
+	if p.word != nil {
+		p.word.SetTracer(t)
+	}
 	if p.bdd != nil {
 		p.bdd.SetTracer(t)
 	}
 }
+
+// EnableWord inserts the word-level stage between simulation and the SAT
+// ladder, sharing the portfolio's SAT engine so learned frontier
+// equalities collapse the ladder's miters. A nil or inert plan leaves the
+// portfolio unchanged.
+func (p *Portfolio) EnableWord(plan *WordPlan) {
+	if plan == nil || plan.St == nil || plan.sig == nil {
+		return
+	}
+	p.word = NewWord(p.net, plan, p.sat)
+	p.word.Hook = p.sat.Hook
+	p.word.SetTracer(p.tr)
+}
+
+// SetAttribution attaches a shared attribution table, enabling the
+// adaptive first-engine policy: obligations whose shape has enough
+// history skip straight to the engine that has been settling that shape
+// cheapest. nil restores the fixed ladder order.
+func (p *Portfolio) SetAttribution(attr *Attribution) { p.attr = attr }
 
 // SetProber attaches the cross-run verification memory as rung 0 of the
 // schedule: every Prove consults it before any engine runs, and settled
@@ -112,9 +136,47 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 			}
 		}
 	}
-	if p.sim != nil {
+	// Adaptive first-engine policy: with enough history for this
+	// obligation shape, jump straight to the engine that settles it
+	// cheapest instead of walking the fixed ladder from the bottom.
+	var shape ShapeKey
+	pick := ""
+	if p.attr != nil {
+		shape = p.shapeOf(a, b)
+		if eng, ok := p.attr.Best(shape); ok {
+			pick = eng
+			p.tr.Emit(obs.Event{Kind: obs.KindPolicyPick, Engine: eng,
+				A: int32(a), B: int32(b), Point: shape.String()})
+		}
+	}
+	if p.sim != nil && pick != "sat" && pick != "bdd" {
 		r := p.sim.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
+		p.observe(shape, "sim", r)
+		if r.Verdict != Unknown {
+			p.record(a, b, r, 0)
+			r.Stats = agg
+			return r
+		}
+	}
+	ranBDD := false
+	if pick == "bdd" && p.policy.BDDFallback {
+		r := p.ensureBDD().Prove(ctx, a, b, budget)
+		agg.Add(r.Stats)
+		p.observe(shape, "bdd", r)
+		ranBDD = true
+		if r.Verdict != Unknown {
+			p.record(a, b, r, p.policy.MaxEscalations)
+			r.Stats = agg
+			return r
+		}
+	}
+	if p.word != nil {
+		r := p.word.Prepare(ctx, a, b, budget)
+		agg.Add(r.Stats)
+		if r.Stats.WordChecks > 0 {
+			p.observe(shape, "word", r)
+		}
 		if r.Verdict != Unknown {
 			p.record(a, b, r, 0)
 			r.Stats = agg
@@ -131,6 +193,7 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 		}
 		r := p.sat.Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
+		p.observe(shape, "sat", r)
 		if r.Verdict != Unknown {
 			p.record(a, b, r, rung)
 			r.Stats = agg
@@ -142,13 +205,10 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 			return Result{Stats: agg}
 		}
 	}
-	if p.policy.BDDFallback {
-		if p.bdd == nil {
-			p.bdd = NewBDD(p.net, p.policy.BDDNodeLimit)
-			p.bdd.SetTracer(p.tr)
-		}
-		r := p.bdd.Prove(ctx, a, b, budget)
+	if p.policy.BDDFallback && !ranBDD {
+		r := p.ensureBDD().Prove(ctx, a, b, budget)
 		agg.Add(r.Stats)
+		p.observe(shape, "bdd", r)
 		if r.Verdict != Unknown {
 			p.record(a, b, r, p.policy.MaxEscalations)
 			r.Stats = agg
@@ -158,6 +218,15 @@ func (p *Portfolio) Prove(ctx context.Context, a, b network.NodeID, budget Budge
 		return r
 	}
 	return Result{Stats: agg}
+}
+
+// ensureBDD lazily builds the fallback BDD engine.
+func (p *Portfolio) ensureBDD() *BDD {
+	if p.bdd == nil {
+		p.bdd = NewBDD(p.net, p.policy.BDDNodeLimit)
+		p.bdd.SetTracer(p.tr)
+	}
+	return p.bdd
 }
 
 // record stores a settled verdict back into the verification memory.

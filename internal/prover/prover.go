@@ -62,6 +62,8 @@ type Stats struct {
 	SATCalls     int           // SAT solver invocations
 	BDDChecks    int           // BDD equivalence queries
 	SimChecks    int           // exhaustive-simulation proofs attempted
+	WordChecks   int           // word-stage attempts on in-word pairs
+	WordFrontier int           // frontier slice equalities proven and learned
 	Escalations  int           // budget-escalation retries
 	BDDBlowups   int           // BDD node-table blow-ups
 	Conflicts    int64         // SAT conflicts spent
@@ -80,6 +82,8 @@ func (s *Stats) Add(o Stats) {
 	s.SATCalls += o.SATCalls
 	s.BDDChecks += o.BDDChecks
 	s.SimChecks += o.SimChecks
+	s.WordChecks += o.WordChecks
+	s.WordFrontier += o.WordFrontier
 	s.Escalations += o.Escalations
 	s.BDDBlowups += o.BDDBlowups
 	s.Conflicts += o.Conflicts
@@ -176,6 +180,10 @@ const (
 	FaultUnknown
 	FaultPanic
 	FaultAssumeEqual
+	// FaultWordAssumeEqual is the word-stage analog of FaultAssumeEqual:
+	// the word engine reports any in-word pair it is consulted on as
+	// equivalent without proving anything. The SAT engine ignores it.
+	FaultWordAssumeEqual
 )
 
 // FaultHook injects faults per pair check. Testing only.

@@ -817,6 +817,8 @@ func (s *scheduler) apply(ctx context.Context, wid int32, ob obligation, pr prov
 	s.res.Escalations += st.Escalations
 	s.res.BDDChecks += st.BDDChecks
 	s.res.SimChecks += st.SimChecks
+	s.res.WordChecks += st.WordChecks
+	s.res.WordFrontier += st.WordFrontier
 	s.res.BDDBlowups += st.BDDBlowups
 	s.res.Conflicts += st.Conflicts
 	s.res.Propagations += st.Propagations
@@ -884,6 +886,8 @@ func (s *scheduler) applyPar(ctx context.Context, w *workerState, wid int32, ob 
 	w.res.Escalations += st.Escalations
 	w.res.BDDChecks += st.BDDChecks
 	w.res.SimChecks += st.SimChecks
+	w.res.WordChecks += st.WordChecks
+	w.res.WordFrontier += st.WordFrontier
 	w.res.BDDBlowups += st.BDDBlowups
 	w.res.Conflicts += st.Conflicts
 	w.res.Propagations += st.Propagations

@@ -40,6 +40,7 @@ import (
 	"simgen/internal/obs"
 	"simgen/internal/prover"
 	"simgen/internal/sim"
+	"simgen/internal/word"
 )
 
 // DefaultRetryLimit is the number of times a degraded obligation (worker
@@ -64,6 +65,10 @@ const (
 	FaultUnknown     = prover.FaultUnknown
 	FaultPanic       = prover.FaultPanic
 	FaultAssumeEqual = prover.FaultAssumeEqual
+	// FaultWordAssumeEqual makes the word stage report in-word pairs
+	// equivalent without proving anything — the word-level unsound verdict
+	// the fuzzing oracle must catch. The SAT engine ignores it.
+	FaultWordAssumeEqual = prover.FaultWordAssumeEqual
 )
 
 // EngineKind selects the proof engine a Sweeper schedules obligations on.
@@ -79,6 +84,11 @@ const (
 	// proofs for small-support pairs (Options.SimPIs), then the SAT ladder,
 	// then the BDD fallback (forced on).
 	EnginePortfolio
+	// EngineWord runs the word-level hybrid: structure detection over the
+	// LUT network, bottom-up frontier proving of word-slice equalities
+	// learned into the shared solver, then the SAT miter. Pairs outside
+	// any detected word go straight to SAT.
+	EngineWord
 )
 
 // ParseEngine maps a CLI engine name to its kind.
@@ -90,8 +100,10 @@ func ParseEngine(s string) (EngineKind, error) {
 		return EngineBDD, nil
 	case "portfolio":
 		return EnginePortfolio, nil
+	case "word":
+		return EngineWord, nil
 	default:
-		return EngineSAT, fmt.Errorf("sweep: unknown engine %q (want sat|bdd|portfolio)", s)
+		return EngineSAT, fmt.Errorf("sweep: unknown engine %q (want sat|bdd|portfolio|word)", s)
 	}
 }
 
@@ -124,8 +136,22 @@ type Options struct {
 	// 0 means the manager default.
 	BDDNodeLimit int
 	// SimPIs is the combined-support cutoff for EnginePortfolio's
-	// exhaustive-simulation stage; 0 means prover.DefaultSimPIs.
+	// exhaustive-simulation stage; 0 means prover.DefaultSimPIs. Negative
+	// disables the stage entirely.
 	SimPIs int
+
+	// WordStage inserts the word-level proving stage into the portfolio:
+	// word-structure detection over the network, then per-obligation
+	// bottom-up frontier proofs learned into the shared solver before the
+	// SAT ladder runs. Off by default — a word-off run behaves
+	// byte-identically to one built before the stage existed. Implied by
+	// EngineWord.
+	WordStage bool
+	// Adaptive enables the attribution-driven first-engine policy for the
+	// portfolio: obligation shapes with enough per-engine wall-time
+	// history skip straight to the engine that settles them cheapest
+	// instead of walking the fixed ladder. Off by default.
+	Adaptive bool
 
 	// FaultHook, when set, is consulted before every SAT pair check and may
 	// inject a failure for that pair. Testing only.
@@ -222,6 +248,8 @@ type Result struct {
 	BDDChecks    int   // pairs referred to the BDD engine
 	BDDBlowups   int   // BDD checks abandoned on the node limit
 	SimChecks    int   // pairs settled by exhaustive simulation
+	WordChecks   int   // word-stage attempts on in-word pairs
+	WordFrontier int   // word-slice equalities proven and learned by the stage
 	Conflicts    int64 // SAT conflicts spent across all calls
 	Propagations int64 // SAT unit propagations spent across all calls
 	WorkerPanics int   // recovered worker panics (requeued or unresolved)
@@ -260,6 +288,8 @@ func (r *Result) add(o Result) {
 	r.BDDChecks += o.BDDChecks
 	r.BDDBlowups += o.BDDBlowups
 	r.SimChecks += o.SimChecks
+	r.WordChecks += o.WordChecks
+	r.WordFrontier += o.WordFrontier
 	r.Conflicts += o.Conflicts
 	r.Propagations += o.Propagations
 	r.WorkerPanics += o.WorkerPanics
@@ -287,6 +317,9 @@ func (r Result) String() string {
 		r.SATCalls, r.SATTime, r.Proved, r.Disproved, r.Unresolved)
 	if r.SimChecks > 0 {
 		fmt.Fprintf(&b, " simchecks=%d", r.SimChecks)
+	}
+	if r.WordChecks > 0 {
+		fmt.Fprintf(&b, " wordchecks=%d wordfrontier=%d", r.WordChecks, r.WordFrontier)
 	}
 	if r.Escalations > 0 {
 		fmt.Fprintf(&b, " escalations=%d", r.Escalations)
@@ -357,13 +390,48 @@ func newSweeper(net *network.Network, classes *sim.Classes, opts Options, simula
 	switch opts.Engine {
 	case EngineBDD:
 		factory = func() prover.Engine { return prover.NewBDD(net, opts.BDDNodeLimit) }
+	case EngineWord:
+		// Detection and signature analysis run once here (the network's
+		// lazy cover cache is not yet shared across workers) and the
+		// immutable plan is shared by every worker's engine.
+		plan := prover.NewWordPlan(net, word.Detect(net))
+		emitWordDetect(opts.Tracer, plan)
+		var hook prover.FaultHook
+		if opts.FaultHook != nil {
+			hook = opts.FaultHook
+		}
+		factory = func() prover.Engine {
+			s := prover.NewSAT(net)
+			s.Hook = hook
+			w := prover.NewWord(net, plan, s)
+			w.Hook = hook
+			return w
+		}
 	default:
 		policy := opts.policy()
 		var hook prover.FaultHook
 		if opts.FaultHook != nil {
 			hook = opts.FaultHook
 		}
-		factory = func() prover.Engine { return prover.NewPortfolio(net, policy, hook) }
+		var plan *prover.WordPlan
+		if opts.WordStage {
+			plan = prover.NewWordPlan(net, word.Detect(net))
+			emitWordDetect(opts.Tracer, plan)
+		}
+		var attr *prover.Attribution
+		if opts.Adaptive {
+			attr = prover.NewAttribution()
+		}
+		factory = func() prover.Engine {
+			p := prover.NewPortfolio(net, policy, hook)
+			if plan != nil {
+				p.EnableWord(plan)
+			}
+			if attr != nil {
+				p.SetAttribution(attr)
+			}
+			return p
+		}
 	}
 	return &Sweeper{
 		Net:     net,
@@ -371,6 +439,13 @@ func newSweeper(net *network.Network, classes *sim.Classes, opts Options, simula
 		Opts:    opts,
 		sched:   newScheduler(net, classes, opts, factory(), factory, simulator),
 	}
+}
+
+// emitWordDetect reports one structure-detection pass to the tracer.
+func emitWordDetect(tr obs.Tracer, plan *prover.WordPlan) {
+	cands, bits := plan.St.Counts()
+	obs.OrNop(tr).Emit(obs.Event{Kind: obs.KindWordDetect,
+		Words: int32(cands), WordBits: int32(bits)})
 }
 
 // engine exposes the primary engine (sequential / worker-0), whose learned

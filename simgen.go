@@ -163,17 +163,21 @@ const (
 	// EnginePortfolio chains free exhaustive-simulation proofs, the SAT
 	// ladder, and the BDD fallback.
 	EnginePortfolio = sweep.EnginePortfolio
+	// EngineWord runs word-structure detection and bottom-up frontier
+	// proving before the SAT miter (datapath circuits).
+	EngineWord = sweep.EngineWord
 )
 
-// ParseSweepEngine maps a CLI engine name (sat|bdd|portfolio) to its kind.
+// ParseSweepEngine maps a CLI engine name (sat|bdd|portfolio|word) to its kind.
 func ParseSweepEngine(s string) (EngineKind, error) { return sweep.ParseEngine(s) }
 
 // Fault kinds for SweepOptions.FaultHook.
 const (
-	FaultNone        = sweep.FaultNone
-	FaultUnknown     = sweep.FaultUnknown
-	FaultPanic       = sweep.FaultPanic
-	FaultAssumeEqual = sweep.FaultAssumeEqual
+	FaultNone            = sweep.FaultNone
+	FaultUnknown         = sweep.FaultUnknown
+	FaultPanic           = sweep.FaultPanic
+	FaultAssumeEqual     = sweep.FaultAssumeEqual
+	FaultWordAssumeEqual = sweep.FaultWordAssumeEqual
 )
 
 // OUTgold policies.
@@ -417,10 +421,18 @@ func TFOMask(net *Network, changed []NodeID) []bool { return pcache.TFOMask(net,
 // Benchmarks returns the paper's 42-circuit suite.
 func Benchmarks() []Benchmark { return genbench.Registry() }
 
-// LoadBenchmark generates a named benchmark and maps it into 6-input LUTs,
-// the preprocessing the paper applies to every circuit.
+// DatapathBenchmarks returns the datapath family (redundant multipliers,
+// adders, shifters, ALUs) that exercises the word-level engine.
+func DatapathBenchmarks() []Benchmark { return genbench.Datapath() }
+
+// LoadBenchmark generates a named benchmark (paper suite or datapath
+// family) and maps it into 6-input LUTs, the preprocessing the paper
+// applies to every circuit.
 func LoadBenchmark(name string) (*Network, error) {
 	b, ok := genbench.ByName(name)
+	if !ok {
+		b, ok = genbench.DatapathByName(name)
+	}
 	if !ok {
 		return nil, fmt.Errorf("simgen: unknown benchmark %q (see Benchmarks())", name)
 	}
